@@ -1,0 +1,17 @@
+"""Bench: per-server vs rack-pool energy storage (paper Fig. 7).
+
+Design-choice ablation called out in DESIGN.md; prints the comparison
+table under pytest-benchmark.
+"""
+
+from repro.experiments import ablation_architecture as experiment
+
+
+def test_ablation_architecture(benchmark):
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.rows
+    assert result.headline

@@ -1,0 +1,17 @@
+"""Bench: which of BAAT's mechanisms buys what (feature knockout).
+
+Design-choice ablation called out in DESIGN.md; prints the comparison
+table under pytest-benchmark.
+"""
+
+from repro.experiments import ablation_baat as experiment
+
+
+def test_ablation_baat(benchmark):
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.rows
+    assert result.headline

@@ -1,0 +1,15 @@
+"""Bench: hybrid energy buffer (supercap + battery) vs bare battery —
+the extension direction of the paper's reference [52] (HEB, ISCA'15).
+"""
+
+from repro.experiments import extension_hybrid_buffer as experiment
+
+
+def test_extension_hybrid_buffer(benchmark):
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.rows
+    assert result.headline

@@ -1,0 +1,18 @@
+"""Bench regenerating the paper's Fig. 12: aging-metric runtime profile across sunny/cloudy/rainy days.
+
+Runs the experiment once under pytest-benchmark (wall-clock measured) and
+prints the regenerated table so `pytest benchmarks/ --benchmark-only -s`
+reproduces the artifact inline.
+"""
+
+from repro.experiments import fig12_profiling as experiment
+
+
+def test_fig12_profiling(benchmark):
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.rows, "experiment produced no rows"
+    assert result.headline, "experiment produced no headline comparisons"

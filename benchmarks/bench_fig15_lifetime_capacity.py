@@ -1,0 +1,18 @@
+"""Bench regenerating the paper's Fig. 15: battery lifetime vs server-to-battery ratio (paper: -35 % at 10 W/Ah).
+
+Runs the experiment once under pytest-benchmark (wall-clock measured) and
+prints the regenerated table so `pytest benchmarks/ --benchmark-only -s`
+reproduces the artifact inline.
+"""
+
+from repro.experiments import fig15_lifetime_capacity as experiment
+
+
+def test_fig15_lifetime_capacity(benchmark):
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.rows, "experiment produced no rows"
+    assert result.headline, "experiment produced no headline comparisons"

@@ -1,0 +1,18 @@
+"""Bench regenerating the paper's Fig. 22: productivity vs expected service life (paper: up to +33 %, humped).
+
+Runs the experiment once under pytest-benchmark (wall-clock measured) and
+prints the regenerated table so `pytest benchmarks/ --benchmark-only -s`
+reproduces the artifact inline.
+"""
+
+from repro.experiments import fig22_planned_aging as experiment
+
+
+def test_fig22_planned_aging(benchmark):
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.rows, "experiment produced no rows"
+    assert result.headline, "experiment produced no headline comparisons"

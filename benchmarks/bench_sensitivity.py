@@ -1,0 +1,15 @@
+"""Bench: sensitivity of BAAT's aging advantage to the reproduction's
+calibration constants (robustness check called out in DESIGN.md).
+"""
+
+from repro.experiments import sensitivity as experiment
+
+
+def test_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.rows
+    assert result.headline

@@ -1,0 +1,15 @@
+"""Bench regenerating the paper's Table 1: usage scenarios vs aging
+speed and variation, made quantitative.
+"""
+
+from repro.experiments import table01_usage_scenarios as experiment
+
+
+def test_table01_usage_scenarios(benchmark):
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.rows
+    assert result.headline

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper figure/table (see DESIGN.md section 4)
+and prints the resulting text table. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""

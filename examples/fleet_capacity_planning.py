@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Capacity planning: sizing batteries against server load.
+
+A green-datacenter operator asks: *how hard can I load my batteries, and
+what does each design point cost per year?* This example reproduces the
+reasoning behind the paper's Figs. 15-17 on a small sweep:
+
+1. sweep the server-to-battery ratio (W of peak server power per Ah of
+   battery) and estimate battery lifetime under both e-Buff and BAAT;
+2. convert lifetimes to annual depreciation cost;
+3. show how the savings from BAAT's longer battery life translate into
+   extra servers at constant TCO.
+
+Run:  python examples/fleet_capacity_planning.py  (takes ~1 minute)
+"""
+
+from repro import Scenario
+from repro.analysis.lifetime import lifetime_for_policies
+from repro.analysis.reporting import format_table, improvement_percent
+from repro.cost.depreciation import DepreciationModel
+from repro.cost.expansion import ExpansionModel, expansion_at_constant_tco
+from repro.cost.tco import TCOModel
+
+SUNSHINE = 0.5  # a temperate location
+RATIOS = (2.0, 4.3, 7.0, 10.0)  # W per Ah, the paper's Fig. 15 x-axis
+
+
+def main() -> None:
+    base = Scenario(dt_s=120.0)
+    depreciation = DepreciationModel(base.battery, n_batteries=base.n_nodes)
+
+    rows = []
+    lifetimes = {}
+    for ratio in RATIOS:
+        scenario = base.with_server_to_battery_ratio(ratio)
+        estimates = lifetime_for_policies(
+            scenario, sunshine_fraction=SUNSHINE, n_days=4,
+            policies=("e-buff", "baat"),
+        )
+        lifetimes[ratio] = {k: v.lifetime_days for k, v in estimates.items()}
+        rows.append(
+            (
+                f"{ratio:.1f} W/Ah",
+                lifetimes[ratio]["e-buff"],
+                lifetimes[ratio]["baat"],
+                improvement_percent(
+                    lifetimes[ratio]["baat"], lifetimes[ratio]["e-buff"]
+                ),
+                depreciation.annual_cost_usd(lifetimes[ratio]["e-buff"]),
+                depreciation.annual_cost_usd(lifetimes[ratio]["baat"]),
+            )
+        )
+    print(
+        format_table(
+            (
+                "ratio",
+                "e-buff life (d)",
+                "baat life (d)",
+                "BAAT gain %",
+                "e-buff $/yr",
+                "baat $/yr",
+            ),
+            rows,
+            title="Battery lifetime and annual depreciation vs loading",
+            float_fmt="{:.1f}",
+        )
+    )
+
+    # Constant-TCO expansion at the default design point (Fig. 17 logic).
+    ratio0 = base.server_to_battery_ratio
+    l0 = lifetimes[4.3]["baat"]
+    l1 = lifetimes[10.0]["baat"]
+    b = (l1 / l0) ** (1.0 / ((10.0 / 4.3) ** 0.5))  # crude response anchor
+
+    def lifetime_of_ratio(r):
+        return max(30.0, l0 * (4.3 / r) ** 0.7)
+
+    model = ExpansionModel(
+        tco=TCOModel(depreciation=depreciation),
+        baseline_servers=base.n_nodes,
+        lifetime_of_ratio=lifetime_of_ratio,
+        baseline_lifetime_days=lifetimes[4.3]["e-buff"],
+        baseline_ratio_w_per_ah=ratio0,
+        solar_headroom_fraction=0.15,
+    )
+    expansion = expansion_at_constant_tco(model)
+    print(
+        f"\nAt constant TCO, BAAT's battery savings fund ~{expansion * 100:.0f}% "
+        "more servers at this location (paper: up to 15% in sun-rich sites)."
+    )
+    print(
+        "Note the diminishing returns: halving the load ratio buys far less "
+        "than 2x battery life, so over-provisioning batteries is wasteful "
+        "(the paper's Fig. 15 third finding)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fleet health monitoring: online lifetime prediction and architecture
+choice.
+
+Two operator questions this example answers with the library:
+
+1. *When will each battery die?* — runs a two-week mixed-weather campaign
+   and feeds each battery's live logs to the blended lifetime predictor
+   (constant-Ah-throughput + damage extrapolation), printing a per-node
+   health dashboard like the prototype's LabVIEW display.
+2. *Per-server batteries or a shared rack pool?* — repeats the campaign
+   under the Open-Rack shared-pool architecture and compares aging spread
+   (the paper's Fig. 7 / Table 1 architecture trade-off).
+
+Run:  python examples/fleet_health_monitor.py  (takes ~30 s)
+"""
+
+from dataclasses import replace
+
+from repro import Scenario, Simulation, make_policy
+from repro.analysis.prediction import LifetimePredictor
+from repro.analysis.reporting import format_table
+from repro.solar.weather import WeatherModel
+from repro.rng import spawn
+
+
+def run_campaign(scenario, label):
+    weather = WeatherModel(sunshine_fraction=0.45)
+    classes = weather.sample_days(14, spawn(scenario.seed, "monitor/days"))
+    trace = scenario.trace_generator().days(classes)
+    sim = Simulation(scenario, make_policy("baat"), trace)
+    result = sim.run()
+    return sim, result, trace
+
+
+def main() -> None:
+    scenario = Scenario(dt_s=120.0)
+    sim, result, trace = run_campaign(scenario, "per-server")
+    predictor = LifetimePredictor()
+
+    rows = []
+    for node in sim.cluster:
+        battery = node.battery
+        prediction = predictor.predict(battery, elapsed_s=trace.duration_s)
+        m = node.tracker.lifetime()
+        rows.append(
+            (
+                node.name,
+                battery.capacity_fade * 100.0,
+                battery.soc,
+                m.nat * 1000.0,
+                prediction.by_throughput_days,
+                prediction.by_damage_days,
+                prediction.remaining_days,
+                prediction.agreement,
+            )
+        )
+    print(
+        format_table(
+            (
+                "node",
+                "fade %",
+                "SoC",
+                "NAT x1e-3",
+                "Tput model (d)",
+                "damage model (d)",
+                "blended (d)",
+                "agreement",
+            ),
+            rows,
+            title="Battery health dashboard after a 2-week campaign (BAAT)",
+            float_fmt="{:.2f}",
+        )
+    )
+
+    # Architecture comparison.
+    rack_sim, rack_result, _ = run_campaign(
+        replace(scenario, architecture="rack-pool"), "rack-pool"
+    )
+
+    def spread(result):
+        fades = [n.fade_added for n in result.nodes]
+        return (max(fades) - min(fades)) / max(max(fades), 1e-12)
+
+    print(
+        "\nAging spread across batteries:"
+        f"\n  per-server : {spread(result):.2f}"
+        f"\n  rack-pool  : {spread(rack_result):.2f}"
+        "\nA shared pool evens wear in hardware; on the per-server"
+        " architecture BAAT's hiding scheduler does the same job in"
+        " software (paper Fig. 7 / Table 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: compare e-Buff and BAAT on one cloudy day.
+
+Builds the paper's prototype scenario — six servers, each with a 12 V /
+35 Ah lead-acid battery, fed by an 8 kWh-per-sunny-day solar line — runs
+the aging-blind e-Buff baseline and the full BAAT framework over the
+*identical* cloudy-day solar trace, and prints the comparison the paper
+makes throughout section VI: throughput, worst-node battery aging, deep
+discharge exposure, and downtime.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Scenario, make_policy, run_policy_on_trace
+from repro.analysis.reporting import format_table, percent_change
+from repro.solar import DayClass
+
+
+def main() -> None:
+    # The paper's prototype, with batteries pre-aged half-way ("old").
+    scenario = Scenario(initial_fade=0.10)
+    trace = scenario.trace_generator().day(DayClass.CLOUDY)
+    print(
+        f"Scenario: {scenario.n_nodes} nodes, "
+        f"{scenario.battery.capacity_ah:.0f} Ah batteries, "
+        f"solar {trace.energy_wh() / 1000:.1f} kWh today (cloudy)\n"
+    )
+
+    rows = []
+    results = {}
+    for name in ("e-buff", "baat"):
+        result = run_policy_on_trace(scenario, make_policy(name), trace)
+        results[name] = result
+        worst = result.worst_node_by_throughput_ah()
+        rows.append(
+            (
+                name,
+                result.throughput_per_day(),
+                worst.discharged_ah,
+                result.worst_damage_per_day() * 1000.0,
+                result.worst_low_soc_fraction() * 24.0,
+                result.total_downtime_s / 3600.0,
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "scheme",
+                "throughput/day",
+                "worst-node Ah",
+                "worst fade/day x1e-3",
+                "low-SoC h/day",
+                "downtime h",
+            ),
+            rows,
+            title="One cloudy day, old batteries",
+        )
+    )
+
+    aging_cut = -percent_change(
+        results["baat"].worst_damage_per_day(),
+        results["e-buff"].worst_damage_per_day(),
+    )
+    print(
+        f"\nBAAT slows the worst battery's aging by {aging_cut:.0f}% on this day"
+        " (paper reports a 38% worst-case aging-speed cut and +69% lifetime)."
+    )
+
+
+if __name__ == "__main__":
+    main()

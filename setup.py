@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that environments whose setuptools predates PEP 660 editable-wheel support
+(and that lack the ``wheel`` package, e.g. fully offline boxes) can still
+do ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints its figure/table as monospace text so the
+regeneration is inspectable without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+    rendered: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+        rendered.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def ratio(new: float, baseline: float) -> float:
+    """Safe ``new / baseline`` (inf when the baseline is zero)."""
+    if baseline == 0:
+        return float("inf") if new > 0 else 1.0
+    return new / baseline
+
+
+def percent_change(new: float, baseline: float) -> float:
+    """Signed percent change of ``new`` relative to ``baseline``."""
+    return (ratio(new, baseline) - 1.0) * 100.0
+
+
+def improvement_percent(new: float, baseline: float) -> float:
+    """How much larger ``new`` is than ``baseline``, in percent.
+
+    The paper's "+69 % lifetime" convention: 1.69x -> 69 %.
+    """
+    return percent_change(new, baseline)
+
+
+def reduction_percent(new: float, baseline: float) -> float:
+    """How much smaller ``new`` is than ``baseline``, in percent.
+
+    The paper's "26 % cost reduction" convention: 0.74x -> 26 %.
+    """
+    return (1.0 - ratio(new, baseline)) * 100.0

@@ -1,0 +1,112 @@
+"""Intra-day metric time series (the paper's Fig. 12(e)-(k) curves).
+
+The prototype's display plots the five aging metrics *as curves over the
+day*, and the paper marks where the slowdown threshold is crossed on each
+weather day. This module recomputes those cumulative curves offline from
+a recorded run's per-node SoC and current series, so any simulation with
+``record_series=True`` can be rendered the way the paper renders its
+logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.battery.params import BatteryParams
+from repro.errors import ConfigurationError
+from repro.metrics.accumulator import MetricsAccumulator
+from repro.metrics.snapshot import AgingMetrics
+from repro.sim.recorder import TraceRecorder
+
+
+@dataclass(frozen=True)
+class MetricCurves:
+    """Cumulative metric curves for one node over one recorded run."""
+
+    node: str
+    times_s: np.ndarray
+    nat: np.ndarray
+    cf: np.ndarray
+    pc: np.ndarray
+    ddt: np.ndarray
+    dr_peak: np.ndarray
+
+    def at_hour(self, hour: float) -> Tuple[float, float, float, float]:
+        """(NAT, CF, PC, DDT) at the first sample at/after ``hour``."""
+        idx = int(np.searchsorted(self.times_s, hour * 3600.0))
+        idx = min(idx, len(self.times_s) - 1)
+        return (
+            float(self.nat[idx]),
+            float(self.cf[idx]),
+            float(self.pc[idx]),
+            float(self.ddt[idx]),
+        )
+
+    def threshold_crossing_h(self, nat_threshold: float) -> Optional[float]:
+        """First hour at which cumulative NAT exceeds a threshold — the
+        paper's "slowdown time" marker — or None if never crossed."""
+        above = np.nonzero(self.nat > nat_threshold)[0]
+        if len(above) == 0:
+            return None
+        return float(self.times_s[above[0]] / 3600.0)
+
+
+def metric_curves(
+    recorder: TraceRecorder,
+    node: str,
+    params: Optional[BatteryParams] = None,
+    stride: int = 1,
+) -> MetricCurves:
+    """Recompute a node's cumulative metric curves from a recorded run.
+
+    Parameters
+    ----------
+    recorder:
+        A recorder with ``record_series=True`` data.
+    stride:
+        Keep every ``stride``-th sample in the output arrays (the
+        accumulation itself always uses every sample).
+    """
+    if node not in recorder.soc_series:
+        raise ConfigurationError(f"no recorded series for node {node!r}")
+    socs = recorder.soc_series[node]
+    currents = recorder.current_series[node]
+    times = recorder.times_s
+    if not socs:
+        raise ConfigurationError(
+            "recorder has no series; run the simulation with record_series=True"
+        )
+    if len(socs) != len(currents) or len(socs) != len(times):
+        raise ConfigurationError("recorded series lengths disagree")
+    if stride <= 0:
+        raise ConfigurationError("stride must be positive")
+
+    params = params or BatteryParams()
+    acc = MetricsAccumulator()
+    out_t: List[float] = []
+    out = {"nat": [], "cf": [], "pc": [], "ddt": [], "dr_peak": []}
+    dt = times[1] - times[0] if len(times) > 1 else 60.0
+    for i, (soc, current) in enumerate(zip(socs, currents)):
+        acc.observe(soc, current, dt, params.reference_current)
+        if i % stride == 0 or i == len(socs) - 1:
+            m = AgingMetrics.from_accumulator(
+                acc, params.lifetime_ah_throughput, params.reference_current
+            )
+            out_t.append(times[i])
+            out["nat"].append(m.nat)
+            out["cf"].append(m.cf if np.isfinite(m.cf) else np.nan)
+            out["pc"].append(m.pc)
+            out["ddt"].append(m.ddt)
+            out["dr_peak"].append(m.dr_peak)
+    return MetricCurves(
+        node=node,
+        times_s=np.asarray(out_t),
+        nat=np.asarray(out["nat"]),
+        cf=np.asarray(out["cf"]),
+        pc=np.asarray(out["pc"]),
+        ddt=np.asarray(out["ddt"]),
+        dr_peak=np.asarray(out["dr_peak"]),
+    )

@@ -1,0 +1,109 @@
+"""Cross-validation of the aging model against cycle-life curves.
+
+Two independent lifetime representations coexist in this library:
+
+- the **mechanistic model** (:mod:`repro.battery.aging`): five damage
+  mechanisms integrated over simulated operating conditions; and
+- the **empirical curves** (:mod:`repro.battery.cycle_life`): fitted
+  manufacturer cycle-life-vs-DoD data (paper Fig. 10).
+
+They were calibrated from different anchors (the paper's six-month
+measurements vs datasheet points), so agreement between them is a real
+consistency check, not a tautology. :func:`simulated_cycle_life` grinds a
+battery through constant-DoD cycles until end of life;
+:func:`validate_against_curves` compares the resulting cycle counts with
+the empirical family and reports the discrepancy per DoD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.battery.cycle_life import MANUFACTURER_CURVES, mean_curve
+from repro.battery.params import BatteryParams
+from repro.battery.unit import BatteryUnit
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_HOUR
+
+
+def simulated_cycle_life(
+    dod: float,
+    params: Optional[BatteryParams] = None,
+    max_cycles: int = 5000,
+    dt_s: float = 1800.0,
+) -> int:
+    """Cycles to end of life when cycling a battery at constant DoD.
+
+    Each cycle discharges the battery from full to ``1 - dod`` at a
+    moderate (~C/7) rate, recharges fully, and rests briefly — a benign
+    laboratory cycling profile comparable to datasheet test conditions.
+    """
+    if not 0.05 <= dod <= 0.95:
+        raise ConfigurationError("dod must be in [0.05, 0.95]")
+    params = params or BatteryParams()
+    battery = BatteryUnit(params, name=f"cycle-test-{dod:.2f}")
+    discharge_w = params.nominal_voltage * params.capacity_ah / 7.0
+
+    for cycle in range(1, max_cycles + 1):
+        target = 1.0 - dod
+        # Discharge to the target SoC.
+        while battery.soc > target:
+            result = battery.discharge(discharge_w, dt_s)
+            if result.curtailed and result.delivered_power_w <= 0.0:
+                break
+        # Recharge to full.
+        guard = 0
+        while battery.soc < 0.99 and guard < 200:
+            battery.charge(discharge_w, dt_s)
+            guard += 1
+        battery.rest(2.0 * SECONDS_PER_HOUR)
+        if battery.is_end_of_life:
+            return cycle
+    return max_cycles
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """Comparison of simulated and empirical cycle life at one DoD."""
+
+    dod: float
+    simulated_cycles: int
+    empirical_cycles: float
+
+    @property
+    def ratio(self) -> float:
+        """Simulated over empirical; 1.0 is perfect agreement."""
+        if self.empirical_cycles <= 0:
+            return float("inf")
+        return self.simulated_cycles / self.empirical_cycles
+
+
+def validate_against_curves(
+    dods: Sequence[float] = (0.3, 0.5, 0.8),
+    manufacturer: str = "",
+    params: Optional[BatteryParams] = None,
+) -> Tuple[ValidationPoint, ...]:
+    """Compare the mechanistic model to the empirical curve family.
+
+    With ``manufacturer`` empty, the pooled mean curve is used.
+    """
+    if manufacturer:
+        try:
+            curve = MANUFACTURER_CURVES[manufacturer]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown manufacturer {manufacturer!r}"
+            ) from exc
+    else:
+        curve = mean_curve()
+    points = []
+    for dod in dods:
+        points.append(
+            ValidationPoint(
+                dod=dod,
+                simulated_cycles=simulated_cycle_life(dod, params=params),
+                empirical_cycles=curve.cycles(dod),
+            )
+        )
+    return tuple(points)

@@ -1,0 +1,50 @@
+"""Battery aging: five mechanisms plus the combined damage model.
+
+The paper (section II-B, Fig. 6) attributes lead-acid aging to five
+synergistic mechanisms, each driven by identifiable operating conditions:
+
+====================================  ======================================
+Mechanism                             Drivers (Fig. 6)
+====================================  ======================================
+Grid corrosion                        float charging, polarisation, temp
+Active-mass degradation/shedding      Ah throughput, low SoC, temp changes
+Irreversible sulphation               time at low SoC, temperature
+Loss of water (drying out)            over-charging/gassing, temperature
+Electrolyte stratification            partial cycling w/o full recharge,
+                                      deep low-current discharge
+====================================  ======================================
+
+:class:`AgingModel` accumulates per-mechanism damage from a stream of
+:class:`OperatingConditions` snapshots and exposes the derived quantities
+the rest of the system observes: capacity fade, internal-resistance growth,
+and coulombic-efficiency degradation.
+"""
+
+from repro.battery.aging.conditions import OperatingConditions
+from repro.battery.aging.mechanisms import (
+    AgingMechanism,
+    GridCorrosion,
+    ActiveMassDegradation,
+    Sulphation,
+    WaterLoss,
+    Stratification,
+    default_mechanisms,
+    soc_stress_weight,
+    rate_stress_weight,
+)
+from repro.battery.aging.model import AgingModel, AgingState
+
+__all__ = [
+    "OperatingConditions",
+    "AgingMechanism",
+    "GridCorrosion",
+    "ActiveMassDegradation",
+    "Sulphation",
+    "WaterLoss",
+    "Stratification",
+    "default_mechanisms",
+    "soc_stress_weight",
+    "rate_stress_weight",
+    "AgingModel",
+    "AgingState",
+]

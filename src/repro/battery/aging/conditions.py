@@ -1,0 +1,72 @@
+"""Operating-condition snapshot consumed by the aging mechanisms.
+
+The paper's premise (section III) is that "battery operating conditions
+(different voltage, current and temperature) largely determine the rate of
+aging processes". :class:`OperatingConditions` is the per-timestep bundle
+of exactly those observables, produced by :class:`~repro.battery.unit.
+BatteryUnit` during each step and consumed by every
+:class:`~repro.battery.aging.mechanisms.AgingMechanism`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperatingConditions:
+    """One timestep's battery operating conditions.
+
+    Attributes
+    ----------
+    soc:
+        State of charge in ``[0, 1]`` at the start of the step.
+    current:
+        Signed terminal current (A): positive = discharging,
+        negative = charging, zero = rest.
+    temperature_c:
+        Block temperature in deg C.
+    reference_current:
+        The battery's nominal (20-hour-rate) current, for normalising
+        rate stress.
+    capacity_ah:
+        Nominal capacity, for normalising throughput.
+    is_float_charging:
+        True when the charger is in the float/trickle stage (full battery
+        held at float voltage) — the corrosion/water-loss driver.
+    gassing_current:
+        Portion of the charge current (A, >= 0) lost to gassing rather
+        than stored — the water-loss driver.
+    hours_since_full_charge:
+        Time since the battery last reached (effectively) full charge.
+        Long spans of partial cycling drive stratification and sulphation.
+    """
+
+    soc: float
+    current: float
+    temperature_c: float
+    reference_current: float
+    capacity_ah: float
+    is_float_charging: bool = False
+    gassing_current: float = 0.0
+    hours_since_full_charge: float = 0.0
+
+    @property
+    def is_discharging(self) -> bool:
+        """True when current flows out of the battery."""
+        return self.current > 0.0
+
+    @property
+    def is_charging(self) -> bool:
+        """True when current flows into the battery."""
+        return self.current < 0.0
+
+    @property
+    def discharge_rate_normalized(self) -> float:
+        """Discharge current relative to the reference (20-h) rate.
+
+        Zero while charging or at rest.
+        """
+        if self.current <= 0.0 or self.reference_current <= 0.0:
+            return 0.0
+        return self.current / self.reference_current

@@ -1,0 +1,120 @@
+"""Cycle life versus depth of discharge (paper Fig. 10).
+
+The paper plots manufacturer cycle-life data from Hoppecke, Trojan, and UPG
+showing that battery cycle life drops by ~50 % when cycles regularly exceed
+50 % DoD. Datasheets for deep-cycle lead-acid blocks publish a handful of
+(DoD, cycles) points; we embed representative point sets for the three
+vendors (reconstructed from published deep-cycle VRLA/flooded curves of
+that era) and fit the standard inverse-power model
+
+    N(DoD) = N_100 * DoD ** (-b)
+
+used throughout the battery-lifetime literature. The fitted curves drive
+the planned-aging manager's DoD-to-lifetime reasoning (Eq. 7) and the
+Fig. 10 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class CycleLifeCurve:
+    """A fitted cycle-life-vs-DoD curve for one battery product line.
+
+    Attributes
+    ----------
+    name:
+        Manufacturer/product label.
+    points:
+        The (DoD fraction, cycles) datasheet points the fit was made from.
+    n_100:
+        Fitted cycle count at 100 % DoD.
+    exponent:
+        Fitted inverse-power exponent ``b`` (>0; larger = steeper penalty
+        for deep cycling).
+    """
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+    n_100: float
+    exponent: float
+
+    def cycles(self, dod: float) -> float:
+        """Cycle life at a given depth of discharge (fraction in (0, 1])."""
+        if dod <= 0.0:
+            raise ConfigurationError("DoD must be positive")
+        dod = clamp(dod, 1e-3, 1.0)
+        return self.n_100 * dod ** (-self.exponent)
+
+    def lifetime_ah_throughput(self, capacity_ah: float, dod: float) -> float:
+        """Total dischargeable Ah over life when cycling at constant DoD.
+
+        ``cycles(dod) * dod * capacity`` — shallower cycling yields more
+        total throughput, which is exactly the curvature BAAT's planned
+        aging exploits.
+        """
+        return self.cycles(dod) * dod * capacity_ah
+
+
+def fit_curve(name: str, points: Sequence[Tuple[float, float]]) -> CycleLifeCurve:
+    """Least-squares fit of the inverse-power model in log-log space."""
+    if len(points) < 2:
+        raise ConfigurationError("need at least two (DoD, cycles) points to fit")
+    dod = np.array([p[0] for p in points], dtype=float)
+    cyc = np.array([p[1] for p in points], dtype=float)
+    if np.any(dod <= 0) or np.any(cyc <= 0):
+        raise ConfigurationError("DoD and cycle counts must be positive")
+    # log N = log N_100 - b * log DoD  (DoD as fraction, so log DoD <= 0)
+    slope, intercept = np.polyfit(np.log(dod), np.log(cyc), 1)
+    return CycleLifeCurve(
+        name=name,
+        points=tuple((float(d), float(c)) for d, c in points),
+        n_100=float(np.exp(intercept)),
+        exponent=float(-slope),
+    )
+
+
+# Representative deep-cycle lead-acid datasheet points (DoD fraction, cycles).
+_HOPPECKE_POINTS = ((0.2, 3200.0), (0.4, 1800.0), (0.6, 1200.0), (0.8, 900.0), (1.0, 700.0))
+_TROJAN_POINTS = ((0.2, 3000.0), (0.4, 1600.0), (0.5, 1200.0), (0.8, 750.0), (1.0, 600.0))
+_UPG_POINTS = ((0.3, 1100.0), (0.5, 500.0), (0.6, 400.0), (0.8, 300.0), (1.0, 225.0))
+
+#: Fitted curves for the three manufacturers shown in the paper's Fig. 10.
+MANUFACTURER_CURVES: Dict[str, CycleLifeCurve] = {
+    "hoppecke": fit_curve("hoppecke", _HOPPECKE_POINTS),
+    "trojan": fit_curve("trojan", _TROJAN_POINTS),
+    "upg": fit_curve("upg", _UPG_POINTS),
+}
+
+
+def cycle_life_at_dod(dod: float, manufacturer: str = "trojan") -> float:
+    """Convenience lookup of cycle life for one manufacturer's curve."""
+    try:
+        curve = MANUFACTURER_CURVES[manufacturer]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown manufacturer {manufacturer!r}; "
+            f"choose from {sorted(MANUFACTURER_CURVES)}"
+        ) from exc
+    return curve.cycles(dod)
+
+
+def mean_curve() -> CycleLifeCurve:
+    """Fit a single curve through all three manufacturers' points.
+
+    Used where the paper argues from the *family* of curves rather than a
+    specific vendor (e.g. "cycle life decreases by 50 % if ... discharged
+    at a DoD above 50 %").
+    """
+    points: list[Tuple[float, float]] = []
+    for curve in MANUFACTURER_CURVES.values():
+        points.extend(curve.points)
+    return fit_curve("mean", points)

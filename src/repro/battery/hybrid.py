@@ -1,0 +1,112 @@
+"""Hybrid energy buffer: supercapacitor + lead-acid battery.
+
+The extension the paper's reference [52] (HEB) builds: pair each battery
+with a small supercapacitor and split the duty by what each chemistry
+tolerates —
+
+- the **supercap takes the spikes**: any draw above the battery's gentle
+  rate comes from the cap first, so the battery never sees the high
+  discharge rates that section III-E identifies as an aging accelerant
+  (Peukert losses, self-heating, DR-at-low-SoC);
+- the **battery takes the bulk**: sustained deficit beyond the cap's few
+  watt-hours still flows from the battery, at a smoothed rate;
+- **calm periods refill the cap** (from surplus charge power first).
+
+The buffer exposes the same ``discharge / charge / rest`` power API as a
+bare :class:`~repro.battery.unit.BatteryUnit`, so experiments can swap
+one for the other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.battery.supercap import Supercapacitor, SupercapParams
+from repro.battery.unit import BatteryUnit, StepResult
+from repro.errors import ConfigurationError
+
+#: Battery draws at or below this multiple of its reference (20-h) rate
+#: are "gentle" — no Peukert inflation, no meaningful self-heating.
+GENTLE_RATE_MULTIPLE = 3.0
+
+
+class HybridBuffer:
+    """A battery with a spike-absorbing supercapacitor in front."""
+
+    def __init__(
+        self,
+        battery: Optional[BatteryUnit] = None,
+        supercap: Optional[Supercapacitor] = None,
+        name: str = "hybrid",
+    ):
+        self.battery = battery or BatteryUnit(name=f"{name}/battery")
+        self.supercap = supercap or Supercapacitor()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def soc(self) -> float:
+        """Battery SoC (the cap's charge is working capital, not storage)."""
+        return self.battery.soc
+
+    @property
+    def gentle_power_w(self) -> float:
+        """Largest battery draw considered spike-free."""
+        params = self.battery.params
+        current = GENTLE_RATE_MULTIPLE * params.reference_current
+        return current * self.battery.terminal_voltage(0.0)
+
+    def max_discharge_power(self) -> float:
+        return self.battery.max_discharge_power() + self.supercap.params.max_power_w
+
+    # ------------------------------------------------------------------
+    def discharge(self, power_w: float, dt: float) -> StepResult:
+        """Serve ``power_w`` for ``dt``: battery up to its gentle rate,
+        supercap for the excess (battery backstops an empty cap).
+
+        During calm steps the battery's spare gentle headroom trickles
+        into the cap, restoring the spike reserve — the HEB duty split.
+        """
+        if power_w < 0 or dt <= 0:
+            raise ConfigurationError("power_w >= 0 and dt > 0 required")
+        gentle = self.gentle_power_w
+        from_battery_w = min(power_w, gentle)
+        spike_w = power_w - from_battery_w
+
+        delivered_spike = self.supercap.discharge(spike_w, dt) if spike_w > 0 else 0.0
+        shortfall = spike_w - delivered_spike
+
+        # Calm-step cap refill from spare gentle headroom.
+        topup_w = 0.0
+        if spike_w <= 0.0 and self.supercap.soc < 0.999:
+            headroom = max(0.0, gentle - from_battery_w)
+            topup_w = self.supercap.charge(headroom, dt)
+
+        result = self.battery.discharge(from_battery_w + shortfall + topup_w, dt)
+        total = result.delivered_power_w + delivered_spike - topup_w
+        curtailed = total < power_w * (1.0 - 1e-4)
+        return StepResult(
+            delivered_power_w=max(0.0, total),
+            current_a=result.current_a,
+            terminal_voltage_v=result.terminal_voltage_v,
+            curtailed=curtailed,
+        )
+
+    def charge(self, power_w: float, dt: float) -> StepResult:
+        """Absorb ``power_w``: refill the supercap first (it is the spike
+        reserve), then the battery."""
+        if power_w < 0 or dt <= 0:
+            raise ConfigurationError("power_w >= 0 and dt > 0 required")
+        to_cap = self.supercap.charge(power_w, dt)
+        result = self.battery.charge(max(0.0, power_w - to_cap), dt)
+        return StepResult(
+            delivered_power_w=result.delivered_power_w + to_cap,
+            current_a=result.current_a,
+            terminal_voltage_v=result.terminal_voltage_v,
+            curtailed=result.curtailed,
+            gassing_current_a=result.gassing_current_a,
+        )
+
+    def rest(self, dt: float) -> StepResult:
+        self.supercap.rest(dt)
+        return self.battery.rest(dt)

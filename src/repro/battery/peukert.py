@@ -1,0 +1,49 @@
+"""Peukert rate-capacity effect.
+
+Lead-acid capacity depends strongly on discharge rate: the charge
+deliverable at high current is smaller than the nameplate (20-hour-rate)
+capacity because acid cannot diffuse to the plates fast enough. Peukert's
+empirical law captures this:
+
+    t = H * (C / (I * H)) ** k
+
+where ``H`` is the reference discharge duration, ``C`` the nominal
+capacity, ``I`` the discharge current and ``k`` the Peukert exponent
+(1.10-1.25 for VRLA). We express the effect as a multiplicative *drain
+factor* on coulomb counting: discharging at current ``I`` removes
+``I * peukert_factor(I) * dt`` ampere-seconds of *effective* charge, so
+that integrating a constant-current discharge empties the battery in
+exactly the Peukert time. The factor is 1 at or below the reference
+current — gentler-than-nominal rates are not credited with extra capacity,
+a common conservative convention in system simulators.
+"""
+
+from __future__ import annotations
+
+from repro.battery.params import BatteryParams
+from repro.errors import ConfigurationError
+
+
+def peukert_factor(current: float, params: BatteryParams) -> float:
+    """Effective-drain multiplier for a discharge at ``current`` amperes.
+
+    Returns 1.0 for currents at or below the reference (20-hour) rate and
+    ``(I / I_ref) ** (k - 1)`` above it.
+    """
+    if current < 0:
+        raise ConfigurationError("peukert_factor expects a discharge current >= 0")
+    i_ref = params.reference_current
+    if current <= i_ref or i_ref <= 0:
+        return 1.0
+    return (current / i_ref) ** (params.peukert_exponent - 1.0)
+
+
+def peukert_capacity(current: float, params: BatteryParams) -> float:
+    """Deliverable capacity (Ah) when discharging steadily at ``current``.
+
+    Equal to nominal capacity divided by the drain factor; e.g. with
+    ``k = 1.15`` a 35 Ah block discharged at 10x its reference rate only
+    delivers ~25 Ah.
+    """
+    factor = peukert_factor(current, params)
+    return params.capacity_ah / factor

@@ -1,0 +1,121 @@
+"""Supercapacitor model (for hybrid energy buffers).
+
+The paper's authors' follow-up work (HEB, its reference [52]) deploys
+*hybrid* energy buffers: a supercapacitor absorbs power spikes so the
+lead-acid battery sees only smoothed current. Electrically a supercap is
+the battery's complement — tiny energy, huge power, essentially no
+cycling wear, but steep self-discharge:
+
+- usable energy `E = ½C(V_max² − V_min²)`, a few watt-hours per node;
+- power limited only by ESR (kilowatts for module-scale parts);
+- round-trip efficiency ~95-98 % (pure ESR loss);
+- no cycle aging over datacenter timescales (10⁵-10⁶ cycles);
+- self-discharge of several percent per day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_HOUR, clamp
+
+
+@dataclass(frozen=True)
+class SupercapParams:
+    """Module-scale supercapacitor bank parameters.
+
+    Defaults describe a small 58 F / 16 V module bank per node: ~2 Wh
+    usable — enough to carry a multi-second spike, useless for bulk
+    energy, exactly the division of labour a hybrid buffer wants.
+    """
+
+    capacitance_f: float = 58.0
+    v_max: float = 16.0
+    v_min: float = 8.0
+    esr_ohm: float = 0.022
+    max_power_w: float = 2000.0
+    self_discharge_per_day: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0:
+            raise ConfigurationError("capacitance_f must be positive")
+        if not 0.0 <= self.v_min < self.v_max:
+            raise ConfigurationError("need 0 <= v_min < v_max")
+        if self.esr_ohm < 0 or self.max_power_w <= 0:
+            raise ConfigurationError("esr_ohm >= 0 and max_power_w > 0 required")
+        if not 0.0 <= self.self_discharge_per_day < 1.0:
+            raise ConfigurationError("self_discharge_per_day must be in [0, 1)")
+
+    @property
+    def usable_energy_wh(self) -> float:
+        """Energy between v_max and v_min, in watt-hours."""
+        joules = 0.5 * self.capacitance_f * (self.v_max**2 - self.v_min**2)
+        return joules / SECONDS_PER_HOUR
+
+
+class Supercapacitor:
+    """Energy-reservoir supercap: no aging, ESR losses, self-discharge."""
+
+    def __init__(self, params: SupercapParams | None = None, initial_soc: float = 1.0):
+        self.params = params or SupercapParams()
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ConfigurationError("initial_soc must be in [0, 1]")
+        self._energy_wh = initial_soc * self.params.usable_energy_wh
+        self.energy_in_wh = 0.0
+        self.energy_out_wh = 0.0
+
+    @property
+    def soc(self) -> float:
+        """Stored fraction of usable energy."""
+        cap = self.params.usable_energy_wh
+        return self._energy_wh / cap if cap > 0 else 0.0
+
+    @property
+    def stored_wh(self) -> float:
+        return self._energy_wh
+
+    def _efficiency(self, power_w: float) -> float:
+        """ESR loss fraction at a given power (approximate, at mid V)."""
+        v = 0.5 * (self.params.v_max + self.params.v_min)
+        current = power_w / max(v, 1e-9)
+        loss = current * current * self.params.esr_ohm
+        return clamp(1.0 - loss / max(power_w, 1e-9), 0.5, 1.0)
+
+    def discharge(self, power_w: float, dt: float) -> float:
+        """Deliver up to ``power_w`` for ``dt`` seconds; returns delivered
+        average power."""
+        if power_w < 0 or dt <= 0:
+            raise ConfigurationError("power_w >= 0 and dt > 0 required")
+        power_w = min(power_w, self.params.max_power_w)
+        eta = self._efficiency(power_w)
+        want_wh = power_w * dt / SECONDS_PER_HOUR / eta
+        take_wh = min(want_wh, self._energy_wh)
+        self._energy_wh -= take_wh
+        delivered_wh = take_wh * eta
+        self.energy_out_wh += delivered_wh
+        return delivered_wh * SECONDS_PER_HOUR / dt
+
+    def charge(self, power_w: float, dt: float) -> float:
+        """Absorb up to ``power_w`` for ``dt`` seconds; returns average
+        power drawn from the source."""
+        if power_w < 0 or dt <= 0:
+            raise ConfigurationError("power_w >= 0 and dt > 0 required")
+        power_w = min(power_w, self.params.max_power_w)
+        eta = self._efficiency(power_w)
+        room_wh = self.params.usable_energy_wh - self._energy_wh
+        stored_wh = min(power_w * dt / SECONDS_PER_HOUR * eta, room_wh)
+        self._energy_wh += stored_wh
+        drawn_wh = stored_wh / eta if eta > 0 else 0.0
+        self.energy_in_wh += drawn_wh
+        return drawn_wh * SECONDS_PER_HOUR / dt
+
+    def rest(self, dt: float) -> None:
+        """Self-discharge for ``dt`` seconds."""
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        import math
+
+        self._energy_wh *= math.exp(
+            -self.params.self_discharge_per_day * dt / 86400.0
+        )

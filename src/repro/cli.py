@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Three subcommands mirror how the prototype was operated:
+
+- ``repro experiments`` — list the paper figures this repo regenerates;
+- ``repro run <exp>`` — regenerate one figure's table (``--full`` for the
+  dense sweep);
+- ``repro compare`` — run the Table-4 schemes head-to-head on a chosen
+  day/battery-age cell and print the comparison.
+
+Usage::
+
+    python -m repro experiments
+    python -m repro run fig14 --full
+    python -m repro compare --day rainy --fade 0.1 --days 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import format_table, percent_change
+from repro.core.policies.factory import POLICY_NAMES, make_policy
+from repro.rng import DEFAULT_SEED
+from repro.sim.engine import run_policy_on_trace
+from repro.sim.scenario import Scenario
+from repro.solar.weather import DayClass
+
+EXPERIMENTS = (
+    "table01_usage_scenarios",
+    "fig03_voltage",
+    "fig04_capacity",
+    "fig05_efficiency",
+    "fig10_cycle_life",
+    "fig12_profiling",
+    "fig13_aging_comparison",
+    "fig14_lifetime_sunshine",
+    "fig15_lifetime_capacity",
+    "fig16_cost",
+    "fig17_expansion",
+    "fig18_low_soc",
+    "fig19_soc_distribution",
+    "fig20_throughput",
+    "fig21_dod_performance",
+    "fig22_planned_aging",
+)
+
+
+def _resolve_experiment(token: str) -> str:
+    """Accept 'fig14', 'fig14_lifetime_sunshine', or '14'."""
+    token = token.lower()
+    if token.isdigit():
+        token = f"fig{int(token):02d}"
+    matches = [name for name in EXPERIMENTS if name.startswith(token)]
+    if len(matches) != 1:
+        raise SystemExit(
+            f"unknown or ambiguous experiment {token!r}; "
+            f"choose from {', '.join(EXPERIMENTS)}"
+        )
+    return matches[0]
+
+
+def cmd_experiments(_args: argparse.Namespace) -> int:
+    for name in EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        first_line = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:28s} {first_line}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    name = _resolve_experiment(args.experiment)
+    module = importlib.import_module(f"repro.experiments.{name}")
+    result = module.run(quick=not args.full, seed=args.seed)
+    print(result.to_text())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    day = DayClass(args.day)
+    scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
+    trace = scenario.trace_generator().days([day] * args.days)
+    print(
+        f"{args.days} x {day.value} day(s), initial fade {args.fade:.0%}, "
+        f"solar {trace.energy_wh() / 1000:.2f} kWh total\n"
+    )
+    rows = []
+    base = None
+    for name in POLICY_NAMES:
+        result = run_policy_on_trace(
+            scenario, make_policy(name, seed=args.seed), trace
+        )
+        if base is None:
+            base = result
+        rows.append(
+            (
+                name,
+                result.throughput_per_day(),
+                percent_change(result.throughput, base.throughput),
+                result.worst_damage_per_day() * 1000.0,
+                result.worst_low_soc_fraction() * 24.0,
+                result.total_downtime_s / 3600.0,
+                result.migrations,
+                result.dvfs_transitions,
+            )
+        )
+    print(
+        format_table(
+            (
+                "scheme",
+                "thr/day",
+                "vs e-buff %",
+                "worst fade/d x1e-3",
+                "low-SoC h/d",
+                "down h",
+                "migr",
+                "dvfs",
+            ),
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BAAT (DSN 2015) reproduction: regenerate paper figures "
+        "and compare battery management schemes.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list regenerable paper figures")
+
+    run = sub.add_parser("run", help="regenerate one paper figure")
+    run.add_argument("experiment", help="e.g. fig14 or 14")
+    run.add_argument("--full", action="store_true", help="dense (slow) sweep")
+    run.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    compare = sub.add_parser("compare", help="run the four schemes head-to-head")
+    compare.add_argument(
+        "--day", choices=[d.value for d in DayClass], default="cloudy"
+    )
+    compare.add_argument("--fade", type=float, default=0.0,
+                         help="initial battery fade (0.10 = 'old')")
+    compare.add_argument("--days", type=int, default=1)
+    compare.add_argument("--dt", type=float, default=120.0)
+    compare.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiments": cmd_experiments,
+        "run": cmd_run,
+        "compare": cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""BAAT: the battery anti-aging treatment framework (paper section IV).
+
+The framework couples a sensor-table power-monitoring architecture with a
+workload scheduler on top of distributed energy storage:
+
+- :class:`~repro.core.power_table.PowerTable` — per-battery utilisation
+  history logs (Table 2);
+- :class:`~repro.core.controller.BAATController` — computes the five
+  aging metrics from the logs and ranks battery nodes by the Eq.-6
+  weighted aging score;
+- :mod:`~repro.core.scheduler` — aging-hiding placement/consolidation
+  (Fig. 8);
+- :mod:`~repro.core.slowdown` — DDT/DR threshold monitoring with VM
+  migration preferred over DVFS (Fig. 9);
+- :mod:`~repro.core.planner` — planned aging via DoD-goal regulation
+  (Eq. 7, Fig. 10);
+- :mod:`~repro.core.policies` — the four comparable management schemes of
+  Table 4 (e-Buff, BAAT-s, BAAT-h, BAAT) plus the planned-aging variant.
+"""
+
+from repro.core.power_table import PowerTable, PowerTableEntry
+from repro.core.controller import BAATController
+from repro.core.scheduler import AgingHidingScheduler
+from repro.core.slowdown import SlowdownConfig, SlowdownMonitor, reserve_seconds
+from repro.core.planner import PlannedAgingManager, dod_goal
+from repro.core.policies import (
+    Policy,
+    EBuffPolicy,
+    BAATSlowdownPolicy,
+    BAATHidingPolicy,
+    BAATPolicy,
+    PlannedAgingPolicy,
+    make_policy,
+    POLICY_NAMES,
+)
+
+__all__ = [
+    "PowerTable",
+    "PowerTableEntry",
+    "BAATController",
+    "AgingHidingScheduler",
+    "SlowdownConfig",
+    "SlowdownMonitor",
+    "reserve_seconds",
+    "PlannedAgingManager",
+    "dod_goal",
+    "Policy",
+    "EBuffPolicy",
+    "BAATSlowdownPolicy",
+    "BAATHidingPolicy",
+    "BAATPolicy",
+    "PlannedAgingPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]

@@ -1,0 +1,128 @@
+"""Provisioning advisor: pick a battery size and policy for a site.
+
+"One should carefully plan the battery capacity" (section VI-C, finding
+3). The advisor answers a green-datacenter operator's opening questions
+with the library's own machinery:
+
+1. given a site's sunshine fraction and fleet size, sweep candidate
+   battery capacities, estimate battery lifetime and throughput under
+   BAAT, and score each design point by annual cost per delivered
+   compute;
+2. recommend the design with the best cost-per-throughput, flagging
+   over-provisioned points (the paper's diminishing-returns warning) and
+   under-provisioned ones (high downtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.lifetime import estimate_lifetime_days, season_day_classes
+from repro.battery.params import BatteryParams
+from repro.cost.depreciation import DepreciationModel
+from repro.cost.tco import TCOModel
+from repro.errors import ConfigurationError
+from repro.rng import DEFAULT_SEED
+from repro.sim.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated provisioning option."""
+
+    capacity_ah: float
+    server_to_battery_ratio: float
+    lifetime_days: float
+    throughput_per_day: float
+    annual_cost_usd: float
+    downtime_h_per_day: float
+
+    @property
+    def cost_per_mthroughput(self) -> float:
+        """Annual dollars per million daily progress units (the score)."""
+        if self.throughput_per_day <= 0:
+            return float("inf")
+        return self.annual_cost_usd / (self.throughput_per_day / 1e6)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's output."""
+
+    best: DesignPoint
+    points: Tuple[DesignPoint, ...]
+    notes: Tuple[str, ...]
+
+
+class ProvisioningAdvisor:
+    """Sweeps battery capacities for a site and recommends one."""
+
+    def __init__(
+        self,
+        sunshine_fraction: float = 0.5,
+        n_nodes: int = 6,
+        n_days: int = 4,
+        seed: int = DEFAULT_SEED,
+    ):
+        if not 0.0 <= sunshine_fraction <= 1.0:
+            raise ConfigurationError("sunshine_fraction must be in [0, 1]")
+        if n_days <= 0:
+            raise ConfigurationError("n_days must be positive")
+        self.sunshine_fraction = sunshine_fraction
+        self.n_nodes = n_nodes
+        self.n_days = n_days
+        self.seed = seed
+
+    def evaluate(self, capacity_ah: float) -> DesignPoint:
+        """Evaluate one battery capacity under BAAT."""
+        if capacity_ah <= 0:
+            raise ConfigurationError("capacity_ah must be positive")
+        battery = BatteryParams().with_capacity(capacity_ah)
+        scenario = Scenario(
+            n_nodes=self.n_nodes, dt_s=120.0, battery=battery, seed=self.seed
+        )
+        estimate = estimate_lifetime_days(
+            "baat",
+            scenario,
+            sunshine_fraction=self.sunshine_fraction,
+            n_days=self.n_days,
+        )
+        result = estimate.season_result
+        depreciation = DepreciationModel(battery, n_batteries=self.n_nodes)
+        tco = TCOModel(depreciation=depreciation)
+        cost = tco.annual(self.n_nodes, estimate.lifetime_days).total_usd
+        return DesignPoint(
+            capacity_ah=capacity_ah,
+            server_to_battery_ratio=scenario.server_to_battery_ratio,
+            lifetime_days=estimate.lifetime_days,
+            throughput_per_day=result.throughput_per_day(),
+            annual_cost_usd=cost,
+            downtime_h_per_day=result.total_downtime_s / 3600.0 / result.days,
+        )
+
+    def recommend(
+        self, capacities_ah: Sequence[float] = (20.0, 35.0, 55.0, 80.0)
+    ) -> Recommendation:
+        """Sweep capacities and recommend the best cost-per-throughput."""
+        if not capacities_ah:
+            raise ConfigurationError("need at least one candidate capacity")
+        points = tuple(self.evaluate(c) for c in sorted(capacities_ah))
+        best = min(points, key=lambda p: p.cost_per_mthroughput)
+
+        notes: List[str] = []
+        largest = points[-1]
+        if largest is not best and largest.capacity_ah >= 2 * best.capacity_ah:
+            gain = largest.lifetime_days / max(best.lifetime_days, 1e-9) - 1.0
+            notes.append(
+                f"doubling battery beyond {best.capacity_ah:.0f} Ah buys only "
+                f"{gain * 100:.0f}% more lifetime (diminishing returns, "
+                "paper Fig. 15 finding 3)"
+            )
+        smallest = points[0]
+        if smallest.downtime_h_per_day > 1.0:
+            notes.append(
+                f"{smallest.capacity_ah:.0f} Ah is under-provisioned: "
+                f"{smallest.downtime_h_per_day:.1f} h/day of downtime"
+            )
+        return Recommendation(best=best, points=points, notes=tuple(notes))

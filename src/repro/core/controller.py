@@ -1,0 +1,103 @@
+"""BAAT controller: metric evaluation and node ranking.
+
+The control server "collect[s] the sensor data and calculate[s] different
+metrics to access the aging process" and "can rank the weighted aging
+value of all the battery nodes in datacenters for the load placement".
+:class:`BAATController` provides exactly that service over a
+:class:`~repro.datacenter.cluster.Cluster`: windowed metric queries per
+node, Eq.-6 weighted scores, and ascending-aging rankings used by both the
+hiding scheduler and the slowdown monitor's migration-target selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.power_table import PowerTable
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.node import Node
+from repro.metrics.snapshot import AgingMetrics
+from repro.metrics.weighted import EQUAL_WEIGHTS, MetricWeights, node_aging_score
+
+#: Mark label for the rolling assessment window the controller maintains.
+WINDOW_MARK = "baat/window"
+
+
+class BAATController:
+    """Aging assessment service over a cluster's battery sensors."""
+
+    def __init__(self, cluster: Cluster, power_table: Optional[PowerTable] = None):
+        self.cluster = cluster
+        self.power_table = power_table or PowerTable()
+        for node in cluster:
+            node.tracker.mark(WINDOW_MARK)
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    def log_sensors(self) -> None:
+        """Poll every battery sensor into the power table."""
+        for node in self.cluster:
+            self.power_table.record(node.battery.sample())
+
+    def reset_window(self, node: Optional[Node] = None) -> None:
+        """Restart the rolling assessment window (all nodes, or one)."""
+        targets = [node] if node is not None else list(self.cluster)
+        for n in targets:
+            n.tracker.mark(WINDOW_MARK)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def window_metrics(self, node: Node) -> AgingMetrics:
+        """The five metrics over the current assessment window."""
+        return node.tracker.since(WINDOW_MARK)
+
+    def lifetime_metrics(self, node: Node) -> AgingMetrics:
+        """The five metrics over the node's whole history."""
+        return node.tracker.lifetime()
+
+    def all_window_metrics(self) -> Dict[str, AgingMetrics]:
+        """Window metrics for every node, keyed by node name."""
+        return {n.name: self.window_metrics(n) for n in self.cluster}
+
+    # ------------------------------------------------------------------
+    # Ranking (Eq. 6)
+    # ------------------------------------------------------------------
+    def score(self, node: Node, weights: MetricWeights = EQUAL_WEIGHTS) -> float:
+        """Weighted aging score for one node's window (higher = worse)."""
+        return node_aging_score(self.window_metrics(node), weights)
+
+    def rank_nodes(
+        self,
+        weights: MetricWeights = EQUAL_WEIGHTS,
+        up_only: bool = True,
+    ) -> List[Tuple[Node, float]]:
+        """Nodes sorted by weighted aging score, slowest-aging first.
+
+        The head of this list is where new load should land (hiding), and
+        the preferred migration target (slowdown).
+        """
+        nodes = self.cluster.up_nodes() if up_only else list(self.cluster.nodes)
+        scored = [(n, self.score(n, weights)) for n in nodes]
+        scored.sort(key=lambda pair: (pair[1], pair[0].name))
+        return scored
+
+    def slowest_aging_node(
+        self,
+        weights: MetricWeights = EQUAL_WEIGHTS,
+        exclude: Tuple[str, ...] = (),
+    ) -> Optional[Node]:
+        """The healthiest placement/migration target, or None if no node
+        qualifies."""
+        for node, _ in self.rank_nodes(weights):
+            if node.name not in exclude:
+                return node
+        return None
+
+    def fastest_aging_node(
+        self, weights: MetricWeights = EQUAL_WEIGHTS
+    ) -> Optional[Node]:
+        """The most-stressed node (the candidate to off-load)."""
+        ranked = self.rank_nodes(weights)
+        return ranked[-1][0] if ranked else None

@@ -1,0 +1,104 @@
+"""Planned aging: aging-rate management (paper section IV-D, Eq. 7).
+
+Batteries typically outlive their usefulness mismatched: lead-acid lasts
+3-10 years while datacenter infrastructure lasts 10-15, so operators
+discard batteries or servers before end-of-life. If the battery's
+discard date is known, BAAT "shifts" performance from the unused tail of
+the battery's life into the used portion by *raising* the allowed depth
+of discharge:
+
+    DoD_goal = (C_total - C_used) / Cycle_plan        (Eq. 7)
+
+where ``C_total`` is the battery's nominal life-long Ah throughput,
+``C_used`` what has already been discharged, and ``Cycle_plan`` the number
+of cycles remaining until the planned discard date. The planned-aging
+policy implements it by replacing the slowdown scheme's 40 % low-SoC
+threshold with ``1 - DoD_goal`` (section IV-D), while hiding continues to
+balance nodes around the planned rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.battery.unit import BatteryUnit
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_DAY, clamp
+
+#: Practical DoD bounds: even planned aging keeps a reserve above 90 % DoD
+#: (the paper notes "an upper bound of battery discharge (i.e., over 90 %
+#: DoD)"), and a floor keeps the battery actually usable.
+DOD_MIN = 0.10
+DOD_MAX = 0.90
+
+
+def dod_goal(
+    c_total_ah: float,
+    c_used_ah: float,
+    cycles_planned: float,
+    capacity_ah: float,
+) -> float:
+    """Eq. 7: the per-cycle DoD that consumes the remaining throughput in
+    exactly the planned number of cycles.
+
+    ``(C_total - C_used) / Cycle_plan`` yields Ah per cycle; dividing by
+    the nominal capacity expresses it as the DoD fraction of Eq. 7. The
+    result is clamped into the practical [10 %, 90 %] band.
+    """
+    if c_total_ah <= 0:
+        raise ConfigurationError("c_total_ah must be positive")
+    if c_used_ah < 0:
+        raise ConfigurationError("c_used_ah must be >= 0")
+    if cycles_planned <= 0:
+        raise ConfigurationError("cycles_planned must be positive")
+    if capacity_ah <= 0:
+        raise ConfigurationError("capacity_ah must be positive")
+    remaining = max(0.0, c_total_ah - c_used_ah)
+    raw = remaining / cycles_planned / capacity_ah
+    return clamp(raw, DOD_MIN, DOD_MAX)
+
+
+@dataclass
+class PlannedAgingManager:
+    """Tracks the plan and recomputes the DoD goal from battery logs.
+
+    Attributes
+    ----------
+    service_life_days:
+        Days from battery installation to the datacenter's end-of-life
+        (the Fig. 22 sweep variable).
+    cycles_per_day:
+        Cycling cadence of the deployment (solar-buffered datacenters run
+        roughly one major cycle per day).
+    """
+
+    service_life_days: float
+    cycles_per_day: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.service_life_days <= 0:
+            raise ConfigurationError("service_life_days must be positive")
+        if self.cycles_per_day <= 0:
+            raise ConfigurationError("cycles_per_day must be positive")
+
+    def remaining_cycles(self, elapsed_s: float) -> float:
+        """Cycles left before the planned discard date (>= 1)."""
+        elapsed_days = elapsed_s / SECONDS_PER_DAY
+        remaining_days = max(0.0, self.service_life_days - elapsed_days)
+        return max(1.0, remaining_days * self.cycles_per_day)
+
+    def current_dod_goal(self, battery: BatteryUnit) -> float:
+        """Eq. 7 evaluated on a battery's live usage log.
+
+        ``C_total`` comes from the battery's constant-throughput lifetime
+        parameter scaled by per-cycle nominal capacity; ``C_used`` is the
+        logged cumulative discharge (Eq. 1's numerator).
+        """
+        c_total = battery.params.lifetime_ah_throughput
+        c_used = battery.aging.state.discharged_ah
+        cycles = self.remaining_cycles(battery.time_s)
+        return dod_goal(c_total, c_used, cycles, battery.params.capacity_ah)
+
+    def low_soc_threshold(self, battery: BatteryUnit) -> float:
+        """The slowdown trigger implied by the plan: ``1 - DoD_goal``."""
+        return clamp(1.0 - self.current_dod_goal(battery), 0.05, 0.95)

@@ -1,0 +1,32 @@
+"""The battery management policies compared in the paper (Table 4).
+
+========  ==========================================================
+Scheme    Method
+========  ==========================================================
+e-Buff    Aggressively use battery as the green energy buffer to
+          manage supply/load power variability (no aging awareness)
+BAAT-s    Only aging-aware CPU frequency throttling (slow down)
+BAAT-h    Only aging-aware VM migration (hide aging variation)
+BAAT      Coordinated hiding + slowing down with weighted ranking
+planned   BAAT plus Eq.-7 DoD-goal regulation (planned aging)
+========  ==========================================================
+"""
+
+from repro.core.policies.base import Policy
+from repro.core.policies.e_buff import EBuffPolicy
+from repro.core.policies.baat_s import BAATSlowdownPolicy
+from repro.core.policies.baat_h import BAATHidingPolicy
+from repro.core.policies.baat import BAATPolicy
+from repro.core.policies.planned import PlannedAgingPolicy
+from repro.core.policies.factory import make_policy, POLICY_NAMES
+
+__all__ = [
+    "Policy",
+    "EBuffPolicy",
+    "BAATSlowdownPolicy",
+    "BAATHidingPolicy",
+    "BAATPolicy",
+    "PlannedAgingPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]

@@ -1,0 +1,82 @@
+"""Policy interface: the hooks the simulation engine calls.
+
+A policy is bound to a cluster (and thereby to the BAAT controller and
+helper schemes) before the run starts; afterwards the engine calls:
+
+- :meth:`Policy.place_vm` once per VM at deployment time;
+- :meth:`Policy.control` at every control interval with the latest
+  per-node battery draws (the sensor feedback loop);
+- :meth:`Policy.on_day_start` at day boundaries (metric windows reset).
+
+Policies act exclusively through the cluster's public knobs — placement,
+migration, DVFS ladders, and per-node discharge caps — mirroring the real
+controller's SNMP/driver actuation paths.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+from repro.core.controller import BAATController
+from repro.core.scheduler import AgingHidingScheduler
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.vm import VM
+from repro.errors import ConfigurationError
+
+
+class Policy(abc.ABC):
+    """Base class for battery management policies."""
+
+    #: Stable identifier used in experiment tables.
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self.cluster: Optional[Cluster] = None
+        self.controller: Optional[BAATController] = None
+        self.scheduler: Optional[AgingHidingScheduler] = None
+
+    def bind(self, cluster: Cluster) -> None:
+        """Attach the policy to a cluster, building its controller and
+        scheduler. Called once by the simulation engine."""
+        self.cluster = cluster
+        self.controller = BAATController(cluster)
+        self.scheduler = AgingHidingScheduler(cluster, self.controller)
+        self._after_bind()
+
+    def _after_bind(self) -> None:
+        """Subclass hook run after binding (build monitors etc.)."""
+
+    def _require_bound(self) -> Cluster:
+        if self.cluster is None:
+            raise ConfigurationError(f"policy {self.name} is not bound to a cluster")
+        return self.cluster
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def place_vm(self, vm: VM) -> str:
+        """Choose a node for a new VM; returns the node name."""
+
+    def control(
+        self,
+        t: float,
+        dt: float,
+        node_draws: Dict[str, float],
+        solar_w: float = 0.0,
+    ) -> None:
+        """Periodic control pass (default: no action — e-Buff style).
+
+        ``solar_w`` is the present farm output; the real controller reads
+        it through the power-switch module, so policies may use it.
+        """
+
+    def on_day_start(self, t: float) -> None:
+        """Day-boundary hook: reset assessment windows by default."""
+        if self.controller is not None:
+            self.controller.reset_window()
+
+    def describe(self) -> str:
+        """One-line human description (Table 4 wording)."""
+        return self.name

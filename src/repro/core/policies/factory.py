@@ -1,0 +1,44 @@
+"""Policy factory: build any Table-4 scheme by name."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policies.baat import BAATPolicy
+from repro.core.policies.baat_h import BAATHidingPolicy
+from repro.core.policies.baat_s import BAATSlowdownPolicy
+from repro.core.policies.base import Policy
+from repro.core.policies.e_buff import EBuffPolicy
+from repro.core.policies.planned import PlannedAgingPolicy
+from repro.core.slowdown import SlowdownConfig
+from repro.errors import ConfigurationError
+
+#: The four schemes of Table 4 in presentation order.
+POLICY_NAMES = ("e-buff", "baat-s", "baat-h", "baat")
+
+
+def make_policy(
+    name: str,
+    slowdown_config: Optional[SlowdownConfig] = None,
+    seed: int = 0,
+    service_life_days: float = 730.0,
+) -> Policy:
+    """Instantiate a policy by its Table-4 name.
+
+    ``"baat-planned"`` additionally accepts ``service_life_days``.
+    """
+    if name == "e-buff":
+        return EBuffPolicy()
+    if name == "baat-s":
+        return BAATSlowdownPolicy(config=slowdown_config)
+    if name == "baat-h":
+        return BAATHidingPolicy(seed=seed)
+    if name == "baat":
+        return BAATPolicy(config=slowdown_config)
+    if name == "baat-planned":
+        return PlannedAgingPolicy(
+            service_life_days=service_life_days, config=slowdown_config
+        )
+    raise ConfigurationError(
+        f"unknown policy {name!r}; choose from {POLICY_NAMES + ('baat-planned',)}"
+    )

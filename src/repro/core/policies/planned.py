@@ -1,0 +1,96 @@
+"""Planned-aging policy: BAAT with Eq.-7 DoD-goal regulation.
+
+"We implement planned aging by replacing the low SoC value in [the]
+slowdown aging technique with (1 - DoD_goal)" (section IV-D). The policy
+recomputes each battery's DoD goal from its live usage log at every day
+boundary and overrides the slowdown monitor's per-node low-SoC threshold
+accordingly; hiding continues to balance nodes around the planned rate.
+
+A battery close to its discard date gets a *larger* DoD goal (deeper
+allowed discharge -> more performance), bounded at 90 % DoD; a battery
+whose remaining life is ample gets a smaller one, conserving it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.planner import PlannedAgingManager
+from repro.core.policies.baat import BAATPolicy
+from repro.core.slowdown import SlowdownConfig
+
+
+class PlannedAgingPolicy(BAATPolicy):
+    """BAAT plus aging-rate planning toward a known discard date."""
+
+    name = "baat-planned"
+
+    def __init__(
+        self,
+        service_life_days: float,
+        cycles_per_day: float = 1.0,
+        config: Optional[SlowdownConfig] = None,
+        fixed_dod_goal: Optional[float] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        service_life_days:
+            Days from battery installation to the planned discard (the
+            datacenter end-of-life), the Fig. 22 sweep variable.
+        fixed_dod_goal:
+            If given, skip Eq. 7 and pin the DoD goal (used for the
+            Fig. 21 DoD sweep).
+        """
+        super().__init__(config=config)
+        self.manager = PlannedAgingManager(
+            service_life_days=service_life_days, cycles_per_day=cycles_per_day
+        )
+        self.fixed_dod_goal = fixed_dod_goal
+
+    def on_day_start(self, t: float) -> None:
+        super().on_day_start(t)
+        self._refresh_thresholds()
+
+    def _after_bind(self) -> None:
+        super()._after_bind()
+        self._refresh_thresholds()
+
+    def _refresh_thresholds(self) -> None:
+        """Recompute per-node overrides from the plan.
+
+        Two knobs move together:
+
+        - the *monitoring threshold* is ``1 - DoD_goal`` but never below
+          the 40 % default — a deep goal licenses deeper discharge, it
+          does not switch the sensors off (otherwise deep goals would
+          degenerate into unmanaged e-Buff behaviour: cut-offs, downtime);
+        - the *protected spending floor* tracks ``1 - DoD_goal`` directly
+          (with a small cut-off guard band), so the licensed charge is
+          genuinely spendable under graceful rationing.
+        """
+        assert self.cluster is not None and self.monitor is not None
+        base_threshold = self.monitor.config.low_soc_threshold
+        for node in self.cluster:
+            if self.fixed_dod_goal is not None:
+                goal = self.fixed_dod_goal
+            else:
+                goal = self.manager.current_dod_goal(node.battery)
+            self.monitor.low_soc_override[node.name] = max(
+                base_threshold, 1.0 - goal
+            )
+            self.monitor.floor_override[node.name] = max(
+                node.battery.params.cutoff_soc + 0.04, 1.0 - goal - 0.08
+            )
+
+    def current_goals(self) -> Dict[str, float]:
+        """Present DoD goal per node (for logging/benches)."""
+        assert self.cluster is not None
+        if self.fixed_dod_goal is not None:
+            return {n.name: self.fixed_dod_goal for n in self.cluster}
+        return {
+            n.name: self.manager.current_dod_goal(n.battery) for n in self.cluster
+        }
+
+    def describe(self) -> str:
+        return "BAAT plus Eq.-7 DoD-goal planned aging toward the discard date"

@@ -1,0 +1,70 @@
+"""Power table: per-battery utilisation history logs (paper Table 2).
+
+"Each group of batteries has a power table which records the battery
+utilization history logs ... collected from corresponding sensor of each
+battery and ... sent to BAAT controller." The table stores the four
+Table-2 variables — current, voltage, temperature, and working time — as a
+bounded ring of entries per battery, from which the controller computes
+the five aging metrics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List
+
+from repro.battery.unit import BatteryState
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerTableEntry:
+    """One logged sensor sample (the Table-2 variables)."""
+
+    time_s: float
+    current_a: float
+    voltage_v: float
+    temperature_c: float
+    soc: float
+
+
+class PowerTable:
+    """Bounded history of sensor samples for a group of batteries."""
+
+    def __init__(self, max_entries_per_battery: int = 10_000):
+        if max_entries_per_battery <= 0:
+            raise ConfigurationError("max_entries_per_battery must be positive")
+        self.max_entries = max_entries_per_battery
+        self._logs: Dict[str, Deque[PowerTableEntry]] = {}
+
+    def record(self, state: BatteryState) -> None:
+        """Append one battery sensor sample."""
+        log = self._logs.setdefault(state.name, deque(maxlen=self.max_entries))
+        log.append(
+            PowerTableEntry(
+                time_s=state.time_s,
+                current_a=state.current_a,
+                voltage_v=state.terminal_voltage_v,
+                temperature_c=state.temperature_c,
+                soc=state.soc,
+            )
+        )
+
+    def history(self, battery_name: str) -> List[PowerTableEntry]:
+        """All retained samples for one battery, oldest first."""
+        return list(self._logs.get(battery_name, ()))
+
+    def latest(self, battery_name: str) -> PowerTableEntry:
+        """Most recent sample for one battery."""
+        log = self._logs.get(battery_name)
+        if not log:
+            raise ConfigurationError(f"no samples recorded for {battery_name!r}")
+        return log[-1]
+
+    def batteries(self) -> List[str]:
+        """Names of all batteries with recorded history."""
+        return sorted(self._logs)
+
+    def __len__(self) -> int:
+        return sum(len(log) for log in self._logs.values())

@@ -1,0 +1,123 @@
+"""Aging-hiding scheduler (paper section IV-B, Fig. 8).
+
+Balances aging variation across battery nodes by placing new workloads —
+and consolidation moves — on the *slowest-aging* node, so "the aging
+slowest battery node can age faster, while the fast-aging battery node
+ages slower".
+
+Two placement modes are provided:
+
+- :meth:`AgingHidingScheduler.place` — the full BAAT procedure: profile
+  the workload's power/energy demand, classify it into a Table-3 quadrant,
+  derive Eq.-6 weights, rank all battery nodes by weighted aging, and put
+  the VM on the healthiest node with CPU headroom;
+- :meth:`AgingHidingScheduler.place_naive` — a load-balance-only baseline
+  (least-utilised node) used by the non-hiding policies, so placement
+  differences are attributable to aging awareness alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.controller import BAATController
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.node import Node
+from repro.datacenter.vm import VM
+from repro.errors import SchedulingError
+from repro.metrics.weighted import (
+    EQUAL_WEIGHTS,
+    classify_demand,
+    weights_for_demand,
+)
+
+
+class AgingHidingScheduler:
+    """Places and consolidates VMs in an aging-driven manner."""
+
+    def __init__(self, cluster: Cluster, controller: BAATController):
+        self.cluster = cluster
+        self.controller = controller
+        self.placements = 0
+
+    # ------------------------------------------------------------------
+    # Load power demand profiling (section IV-B-2a)
+    # ------------------------------------------------------------------
+    def profile_weights(self, vm: VM, node: Node):
+        """Derive Eq.-6 weights from the VM's coarse power/energy profile.
+
+        Uses the workload's mean power against the server's peak envelope
+        for the Large/Small split, and its daily energy against half the
+        server's daily dynamic budget for the More/Less split.
+        """
+        params = node.server.params
+        mean_power = vm.workload.mean_power_w(params.idle_w, params.peak_w)
+        energy = vm.workload.energy_per_day_wh(params.idle_w, params.peak_w)
+        threshold = 0.5 * (params.peak_w - params.idle_w) * 24.0 * 0.5
+        demand = classify_demand(
+            mean_power_w=mean_power + params.idle_w * 0.5,
+            peak_power_w=params.peak_w,
+            energy_wh=energy,
+            energy_threshold_wh=threshold,
+        )
+        return weights_for_demand(demand)
+
+    # ------------------------------------------------------------------
+    # Placement (Fig. 8)
+    # ------------------------------------------------------------------
+    def place(self, vm: VM) -> str:
+        """Aging-driven placement; returns the chosen node name.
+
+        Raises :class:`SchedulingError` when no node has headroom.
+        """
+        reference = self.cluster.nodes[0]
+        weights = self.profile_weights(vm, reference)
+        ranked = self.controller.rank_nodes(weights)
+        # Tie-break near-equal aging scores by current CPU load so a fresh
+        # cluster still spreads work (packing costs contention for no
+        # aging benefit).
+        ordered = sorted(
+            ranked,
+            key=lambda pair: (
+                round(pair[1], 3),
+                sum(v.workload.mean_util for v in pair[0].server.vms),
+                pair[0].name,
+            ),
+        )
+        for node, _score in ordered:
+            if self.cluster._fits(node, vm):
+                self.cluster.place(vm, node.name)
+                self.placements += 1
+                return node.name
+        raise SchedulingError(f"no node has headroom for VM {vm.name}")
+
+    def place_naive(self, vm: VM) -> str:
+        """Aging-blind placement: least mean-utilised node with headroom."""
+        candidates = sorted(
+            self.cluster.nodes,
+            key=lambda n: (
+                sum(v.workload.mean_util for v in n.server.vms),
+                n.name,
+            ),
+        )
+        for node in candidates:
+            if self.cluster._fits(node, vm):
+                self.cluster.place(vm, node.name)
+                self.placements += 1
+                return node.name
+        raise SchedulingError(f"no node has headroom for VM {vm.name}")
+
+    # ------------------------------------------------------------------
+    # Consolidation target selection
+    # ------------------------------------------------------------------
+    def migration_target(
+        self, vm: VM, source: str, weights=EQUAL_WEIGHTS
+    ) -> Optional[str]:
+        """Best destination for migrating ``vm`` off ``source``: the node
+        with the minimal weighted aging score that can host it, or None."""
+        for node, _score in self.controller.rank_nodes(weights):
+            if node.name == source:
+                continue
+            if self.cluster.can_migrate(vm.name, node.name):
+                return node.name
+        return None

@@ -1,0 +1,365 @@
+"""Aging slowdown: server-level control (paper section IV-C, Fig. 9).
+
+"It is dangerous to discharge battery with high discharge rate during low
+SoC state." The slowdown monitor periodically checks two metrics once a
+battery drops below 40 % SoC:
+
+- **DDT** — deep-discharge time over the current assessment window; and
+- **DR** — whether present discharge would exhaust the battery's reserve
+  within the 2-minute emergency window (``P_threshold`` in the Fig. 9
+  caption, derived from the Govindan et al. 2-minute UPS-reserve rule the
+  paper cites).
+
+On a violation the monitor prefers VM migration to a healthy node (chosen
+by minimal weighted aging, like the hiding scheme); if no migration is
+feasible it falls back to DVFS power capping, and it additionally caps the
+node's battery discharge to the 2-minute-safe power. Frequencies recover
+once the battery climbs back above the recovery SoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.battery.peukert import peukert_factor
+from repro.battery.unit import BatteryUnit
+from repro.core.controller import BAATController
+from repro.core.scheduler import AgingHidingScheduler
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.node import Node
+from repro.errors import ConfigurationError, MigrationError
+from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def reserve_seconds(battery: BatteryUnit, power_w: float) -> float:
+    """How long the battery could sustain ``power_w`` before its cut-off.
+
+    Inverts the Peukert-corrected drain at the implied current. Returns
+    ``inf`` for zero draw.
+    """
+    if power_w <= 0.0:
+        return float("inf")
+    voltage = battery.terminal_voltage(0.0)
+    if voltage <= 0:
+        return 0.0
+    current = power_w / voltage
+    avail_ah = max(
+        0.0, (battery.soc - battery.params.cutoff_soc) * battery.effective_capacity_ah
+    )
+    drain_per_s = current * peukert_factor(current, battery.params) / SECONDS_PER_HOUR
+    if drain_per_s <= 0:
+        return float("inf")
+    return avail_ah / drain_per_s
+
+
+def two_minute_safe_power(battery: BatteryUnit, t_threshold_s: float = 120.0) -> float:
+    """The largest power the battery can sustain for ``t_threshold_s``.
+
+    This is the Fig.-9 ``P_threshold``: discharging harder than this
+    leaves less than the required emergency reserve.
+    """
+    if t_threshold_s <= 0:
+        raise ConfigurationError("t_threshold_s must be positive")
+    avail_ah = max(
+        0.0, (battery.soc - battery.params.cutoff_soc) * battery.effective_capacity_ah
+    )
+    voltage = battery.terminal_voltage(0.0)
+    if voltage <= 0 or avail_ah <= 0:
+        return 0.0
+    # Available energy spread over the threshold window, corrected for the
+    # Peukert drain inflation at the implied (usually large) current via a
+    # short fixed-point iteration.
+    power = avail_ah * voltage * SECONDS_PER_HOUR / t_threshold_s
+    for _ in range(4):
+        current = power / voltage
+        pf = peukert_factor(current, battery.params)
+        power = avail_ah / pf * voltage * SECONDS_PER_HOUR / t_threshold_s
+    return power
+
+
+@dataclass(frozen=True)
+class SlowdownConfig:
+    """Thresholds of the Fig.-9 procedure.
+
+    Attributes
+    ----------
+    low_soc_threshold:
+        SoC below which checks begin (40 %; planned aging overrides it
+        with ``1 - DoD_goal``).
+    ddt_threshold:
+        Window DDT fraction above which action is taken.
+    reserve_seconds_threshold:
+        The 2-minute emergency reserve (T_threshold).
+    recovery_soc:
+        SoC at which throttled servers return to full frequency.
+    prefer_migration:
+        Full BAAT migrates first and throttles only as a fallback; BAAT-s
+        sets this False (DVFS only).
+    """
+
+    low_soc_threshold: float = 0.40
+    ddt_threshold: float = 0.25
+    reserve_seconds_threshold: float = 120.0
+    recovery_soc: float = 0.60
+    prefer_migration: bool = True
+    #: SoC floor the rationing cap protects: once triggered, battery draw
+    #: is limited so the charge above this floor stretches to the end of
+    #: the operating window ("promote the chances of battery charging to a
+    #: higher SoC when the intermittent power supply becomes sufficient").
+    #: Just below the 40 % line, so slowdown parks batteries out of the
+    #: sulphation-prone deep-discharge region.
+    protected_soc: float = 0.28
+    #: End of the operating window (local hours), for rationing horizons.
+    window_end_h: float = 18.5
+    #: A migration is worthwhile only onto a materially healthier node:
+    #: the target battery must have at least this much more SoC than the
+    #: source. Guards full BAAT against BAAT-h-style churn when every node
+    #: is equally stressed.
+    migration_soc_margin: float = 0.12
+    #: Whether the action ladder may park a server (planned checkpointing)
+    #: when even its idle draw is unsustainable. Full BAAT coordinates
+    #: checkpoint/consolidation; BAAT-s is frequency-throttling only
+    #: (Table 4) and must leave this False.
+    allow_parking: bool = True
+    #: Deepest DVFS ladder step the monitor will command (None = the
+    #: hardware floor). With idle-dominated servers, deep throttling is
+    #: power-*inefficient* per unit of compute, so full BAAT — which can
+    #: migrate and park instead — stops at a shallow step; BAAT-s has no
+    #: other lever and rides the whole ladder (its Fig. 20 penalty).
+    max_throttle_index: int = 10**6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low_soc_threshold < 1.0:
+            raise ConfigurationError("low_soc_threshold must be in (0, 1)")
+        if not 0.0 <= self.ddt_threshold <= 1.0:
+            raise ConfigurationError("ddt_threshold must be in [0, 1]")
+        if self.recovery_soc <= self.low_soc_threshold:
+            raise ConfigurationError("recovery_soc must exceed low_soc_threshold")
+        if not 0.0 <= self.protected_soc < self.low_soc_threshold:
+            raise ConfigurationError("protected_soc must be below low_soc_threshold")
+
+
+class SlowdownMonitor:
+    """Implements the Fig.-9 control loop for one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        controller: BAATController,
+        scheduler: Optional[AgingHidingScheduler] = None,
+        config: Optional[SlowdownConfig] = None,
+    ):
+        self.cluster = cluster
+        self.controller = controller
+        self.scheduler = scheduler
+        self.config = config or SlowdownConfig()
+        self.migrations = 0
+        self.throttles = 0
+        self.parks = 0
+        #: Simulation time of the first action taken, or None. The paper's
+        #: Fig. 12 marks when slowdown engages on each weather day ("the
+        #: slowdown time varies in different weathers").
+        self.first_action_t: Optional[float] = None
+        #: Per-node override of the low-SoC threshold (planned aging).
+        self.low_soc_override: dict = {}
+        #: Per-node override of the protected spending floor (planned
+        #: aging: a deep DoD goal lowers the floor so the charge may be
+        #: spent, while monitoring still engages at the threshold).
+        self.floor_override: dict = {}
+        self._last_t = 0.0
+
+    def low_soc_threshold(self, node: Node) -> float:
+        """Effective low-SoC trigger for a node."""
+        return self.low_soc_override.get(node.name, self.config.low_soc_threshold)
+
+    # ------------------------------------------------------------------
+    def check(self, node: Node, current_draw_w: float) -> bool:
+        """True when the Fig.-9 trigger fires for this node.
+
+        Below the low-SoC line, any of three conditions acts:
+
+        - the window DDT exceeds its threshold (chronic deep discharge);
+        - the present draw leaves less than the 2-minute reserve; or
+        - the present draw exceeds the *sustainable ration* — the power at
+          which the remaining protected charge lasts to the end of the
+          operating window. This is the "high discharge rate during low
+          SoC" condition of section III-E: a draw that is fine at 80 % SoC
+          is dangerous at 35 %.
+        """
+        battery = node.battery
+        if battery.soc >= self.low_soc_threshold(node):
+            return False
+        ddt = self.controller.window_metrics(node).ddt
+        if ddt > self.config.ddt_threshold:
+            return True
+        reserve = reserve_seconds(battery, current_draw_w)
+        if reserve < self.config.reserve_seconds_threshold:
+            return True
+        return current_draw_w > self._ration_w(node, self._last_t)
+
+    def act(self, node: Node, t: float) -> str:
+        """Apply the Fig.-9 action ladder to a triggered node.
+
+        Returns the action taken: ``"migrated"``, ``"throttled"``, or
+        ``"capped"`` (discharge cap only, when the server is already at
+        its frequency floor).
+        """
+        cfg = self.config
+        if cfg.prefer_migration and self.scheduler is not None and node.server.vms:
+            # Move the heaviest migratable VM to the healthiest node —
+            # but only when that node's battery is materially healthier,
+            # otherwise migration is the BAAT-h churn the paper criticises.
+            candidates = sorted(
+                node.server.vms, key=lambda vm: -vm.workload.mean_util
+            )
+            for vm in candidates:
+                target = self.scheduler.migration_target(vm, node.name)
+                if target is None:
+                    continue
+                target_node = self.cluster.node(target)
+                margin = target_node.battery.soc - node.battery.soc
+                if margin < cfg.migration_soc_margin:
+                    continue
+                try:
+                    self.cluster.migrate(vm.name, target)
+                except MigrationError:
+                    continue
+                self.migrations += 1
+                self._cap_discharge(node, t)
+                return "migrated"
+        # DVFS fallback ("if the VM cannot be migrated ... perform DVFS").
+        if node.server.freq_index < cfg.max_throttle_index and node.server.throttle_down():
+            self.throttles += 1
+            self._cap_discharge(node, t)
+            return "throttled"
+        # Ladder exhausted. If even the idle draw is unsustainable, park
+        # the server gracefully — the prototype's planned checkpointing
+        # ("when solar power budget is temporarily unavailable, our system
+        # can make checkpoint and all VM states are saved") — instead of
+        # letting the battery run to an unplanned cut-off.
+        if (
+            cfg.allow_parking
+            and self._ration_w(node, t) < node.server.params.idle_w
+            and self._active_count() > max(1, len(self.cluster.nodes) // 2)
+        ):
+            self._evacuate(node)
+            for vm in node.server.vms:
+                vm.checkpoint()
+            node.server.policy_off = True
+            node.discharge_cap_w = 0.0
+            self.parks += 1
+            return "parked"
+        self._cap_discharge(node, t)
+        return "capped"
+
+    def _active_count(self) -> int:
+        """Servers currently serving (up and not parked). Parking stops at
+        half the fleet — the datacenter sheds load, it does not shut."""
+        return sum(
+            1 for n in self.cluster if n.is_up and not n.server.policy_off
+        )
+
+    def _evacuate(self, node: Node) -> None:
+        """Move VMs off a node that is about to park.
+
+        The SoC margin is waived here: a parked VM makes zero progress, so
+        *any* live host beats staying.
+        """
+        if self.scheduler is None:
+            return
+        for vm in list(node.server.vms):
+            target = self.scheduler.migration_target(vm, node.name)
+            if target is None:
+                continue
+            try:
+                self.cluster.migrate(vm.name, target)
+            except MigrationError:
+                continue
+            self.migrations += 1
+
+    def recover(self, node: Node) -> None:
+        """Release parking/throttling/caps gradually as the battery
+        recovers.
+
+        Stepping one DVFS level per control pass avoids the throttle/
+        recover oscillation a full jump would cause at the recovery edge.
+        """
+        if node.server.policy_off:
+            # Waking parked servers is a cluster-level decision (the
+            # consolidation plan), not a per-node one: a freshly recharged
+            # battery does not mean the fleet can afford another server.
+            return
+        if node.battery.soc >= self.config.recovery_soc:
+            node.server.throttle_up()
+            node.discharge_cap_w = float("inf")
+
+    def protected_floor(self, node: Node) -> float:
+        """SoC floor the rationing protects for this node.
+
+        An explicit per-node override (planned aging's Eq.-7 spending
+        allowance) wins; otherwise the floor tracks the node's low-SoC
+        threshold at a fixed offset.
+        """
+        hard_floor = node.battery.params.cutoff_soc + 0.02
+        if node.name in self.floor_override:
+            return max(hard_floor, self.floor_override[node.name])
+        threshold = self.low_soc_threshold(node)
+        offset = self.config.low_soc_threshold - self.config.protected_soc
+        return max(hard_floor, threshold - offset)
+
+    def _ration_w(self, node: Node, t: float) -> float:
+        """Sustainable battery power: the charge above the protected floor
+        rationed over the remainder of the operating window."""
+        battery = node.battery
+        tod_h = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        remaining_s = max(300.0, (self.config.window_end_h - tod_h) * SECONDS_PER_HOUR)
+        usable_ah = max(
+            0.0,
+            (battery.soc - self.protected_floor(node)) * battery.effective_capacity_ah,
+        )
+        voltage = battery.terminal_voltage(0.0)
+        return usable_ah * voltage * SECONDS_PER_HOUR / remaining_s
+
+    def _cap_discharge(self, node: Node, t: float) -> None:
+        """Cap battery draw at the sustainable ration.
+
+        Above the protected SoC floor the cap is floored at the server's
+        idle draw — a throttled server should ride through at minimum
+        speed rather than flap through brownout/boot cycles. At the floor
+        itself the ration takes over fully; the battery is not drained
+        past the protected charge.
+        """
+        # A parking-capable monitor parks before the floor matters; a
+        # DVFS-only monitor cannot shed the idle draw, so the server keeps
+        # eating (and eventually browns out) — the paper's "passive
+        # solution" behaviour of BAAT-s.
+        node.discharge_cap_w = max(self._ration_w(node, t), node.server.params.idle_w)
+
+    # ------------------------------------------------------------------
+    def control(self, t: float, node_draws: dict) -> List[str]:
+        """One monitoring pass over all nodes.
+
+        Parameters
+        ----------
+        node_draws:
+            Mapping of node name to its battery draw (W) in the last step,
+            used for the DR/reserve check.
+
+        Returns the actions taken, for logging.
+        """
+        actions: List[str] = []
+        self._last_t = t
+        for node in self.cluster:
+            # Skip down servers and consolidation-parked ones — a parked
+            # node's zero discharge cap must not be overridden here.
+            if not node.is_up or node.server.policy_off:
+                continue
+            draw = node_draws.get(node.name, 0.0)
+            if self.check(node, draw):
+                actions.append(f"{node.name}:{self.act(node, t)}")
+                if self.first_action_t is None:
+                    self.first_action_t = t
+            else:
+                self.recover(node)
+        return actions

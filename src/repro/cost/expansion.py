@@ -1,0 +1,89 @@
+"""Server expansion at constant TCO (paper Fig. 17).
+
+"BAAT allows existing green datacenters to expand (scale-out) without
+increasing the total cost of ownership ... because the cost savings due to
+improved battery life can actually be used to purchase more servers."
+
+The expansion is solved as a fixed point, because adding servers raises
+the server-to-battery ratio, which shortens battery life (Fig. 15) and
+eats part of the savings — the reason the paper's expansion ratio "does
+not linearly grow when server number increases". The solar budget caps
+how many added servers are actually powerable, tying the result to the
+sunshine fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cost.tco import TCOModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExpansionModel:
+    """Inputs for the constant-TCO expansion computation.
+
+    Attributes
+    ----------
+    tco:
+        The cost model.
+    baseline_servers:
+        Fleet size under the baseline (e-Buff) scheme.
+    lifetime_of_ratio:
+        Callable mapping server-to-battery ratio (W/Ah) to the *BAAT*
+        battery lifetime in days — typically a fit of Fig. 15's sweep.
+    baseline_lifetime_days:
+        e-Buff battery lifetime at the baseline ratio.
+    baseline_ratio_w_per_ah:
+        Present server-to-battery ratio.
+    solar_headroom_fraction:
+        Fraction of additional servers the solar budget can actually
+        power; grows with the sunshine fraction.
+    """
+
+    tco: TCOModel
+    baseline_servers: int
+    lifetime_of_ratio: Callable[[float], float]
+    baseline_lifetime_days: float
+    baseline_ratio_w_per_ah: float
+    solar_headroom_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.baseline_servers <= 0:
+            raise ConfigurationError("baseline_servers must be positive")
+        if self.baseline_lifetime_days <= 0:
+            raise ConfigurationError("baseline_lifetime_days must be positive")
+        if self.baseline_ratio_w_per_ah <= 0:
+            raise ConfigurationError("baseline_ratio_w_per_ah must be positive")
+        if not 0.0 <= self.solar_headroom_fraction <= 1.0:
+            raise ConfigurationError("solar_headroom_fraction must be in [0, 1]")
+
+
+def expansion_at_constant_tco(model: ExpansionModel, max_iter: int = 50) -> float:
+    """Fractional server expansion affordable at the baseline's TCO.
+
+    Iterates: candidate expansion -> new ratio -> new BAAT lifetime ->
+    new battery cost -> affordable servers, to convergence. Returns the
+    expansion fraction (0.12 = 12 % more servers), capped by the solar
+    headroom.
+    """
+    baseline_cost = model.tco.annual(
+        model.baseline_servers, model.baseline_lifetime_days
+    ).total_usd
+
+    expansion = 0.0
+    for _ in range(max_iter):
+        ratio = model.baseline_ratio_w_per_ah * (1.0 + expansion)
+        lifetime = max(1.0, model.lifetime_of_ratio(ratio))
+        battery_cost = model.tco.depreciation.annual_cost_usd(lifetime)
+        server_budget = baseline_cost - battery_cost
+        affordable = server_budget / model.tco.server_annual_usd
+        new_expansion = max(0.0, affordable / model.baseline_servers - 1.0)
+        new_expansion = min(new_expansion, model.solar_headroom_fraction)
+        if abs(new_expansion - expansion) < 1e-6:
+            expansion = new_expansion
+            break
+        expansion = 0.5 * (expansion + new_expansion)
+    return expansion

@@ -1,0 +1,71 @@
+"""Total-cost-of-ownership model.
+
+Only the components the paper's Figs. 16-17 argue about are modelled:
+amortised server capex, battery depreciation, and the (small) residual
+grid energy bill. Facility capex is identical across the compared schemes
+and therefore omitted — differences, not absolutes, carry the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.depreciation import DepreciationModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Annual cost components (USD/year)."""
+
+    servers_usd: float
+    batteries_usd: float
+    energy_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.servers_usd + self.batteries_usd + self.energy_usd
+
+
+@dataclass(frozen=True)
+class TCOModel:
+    """Annualised costs for a green micro-datacenter.
+
+    Attributes
+    ----------
+    server_price_usd / server_amortization_years:
+        Capex amortisation for one server (2015-era 1U box).
+    energy_price_usd_per_kwh:
+        Residual utility price (solar itself is sunk capex).
+    """
+
+    depreciation: DepreciationModel
+    server_price_usd: float = 2000.0
+    server_amortization_years: float = 4.0
+    energy_price_usd_per_kwh: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.server_price_usd <= 0 or self.server_amortization_years <= 0:
+            raise ConfigurationError("server price and amortization must be positive")
+        if self.energy_price_usd_per_kwh < 0:
+            raise ConfigurationError("energy price must be >= 0")
+
+    @property
+    def server_annual_usd(self) -> float:
+        """Amortised yearly cost of one server."""
+        return self.server_price_usd / self.server_amortization_years
+
+    def annual(
+        self,
+        n_servers: int,
+        battery_lifetime_days: float,
+        grid_kwh_per_year: float = 0.0,
+    ) -> CostBreakdown:
+        """Annual cost breakdown for a deployment."""
+        if n_servers <= 0:
+            raise ConfigurationError("n_servers must be positive")
+        return CostBreakdown(
+            servers_usd=n_servers * self.server_annual_usd,
+            batteries_usd=self.depreciation.annual_cost_usd(battery_lifetime_days),
+            energy_usd=grid_kwh_per_year * self.energy_price_usd_per_kwh,
+        )

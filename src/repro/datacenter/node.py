@@ -1,0 +1,69 @@
+"""A node: one server paired with one battery unit and its sensors.
+
+The per-server integration (Google style, Fig. 2/7 left) is the paper's
+default experimental architecture: "each server is equipped with
+individual battery unit". A :class:`Node` bundles the server, its battery,
+and the battery's :class:`~repro.metrics.tracker.MetricsTracker` (the
+sensor + power-table slice for this battery), plus the policy-writable
+discharge cap used by the slowdown scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.battery.unit import BatteryUnit
+from repro.datacenter.server import Server
+from repro.metrics.tracker import MetricsTracker
+
+
+@dataclass
+class Node:
+    """One server + battery + sensor bundle.
+
+    Attributes
+    ----------
+    discharge_cap_w:
+        Policy-set ceiling on battery discharge power for this node
+        (``inf`` = uncapped). The slowdown scheme lowers it to stop deep
+        high-rate discharge; ``0`` forbids battery use entirely.
+    """
+
+    name: str
+    server: Server
+    battery: BatteryUnit
+    tracker: MetricsTracker
+    discharge_cap_w: float = math.inf
+    #: Cumulative solar energy this node fed back to the grid (Wh) because
+    #: its battery could not absorb it — the "unprofitable feedback" loss.
+    feedback_wh: float = 0.0
+    #: Cumulative energy demand that went unserved (Wh), causing brownouts.
+    unserved_wh: float = 0.0
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        server: Optional[Server] = None,
+        battery: Optional[BatteryUnit] = None,
+    ) -> "Node":
+        """Construct a node with default server/battery models."""
+        server = server or Server(name=name)
+        server.name = name
+        battery = battery or BatteryUnit(name=f"{name}/battery")
+        tracker = MetricsTracker(battery.params, name=battery.name)
+        return cls(name=name, server=server, battery=battery, tracker=tracker)
+
+    def observe_battery(self, dt: float) -> None:
+        """Sample the battery into the metrics tracker (sensor poll)."""
+        state = self.battery.sample()
+        self.tracker.observe(state.soc, state.current_a, dt)
+
+    @property
+    def is_up(self) -> bool:
+        """True when the server is serving load."""
+        from repro.datacenter.server import ServerPowerState
+
+        return self.server.state is ServerPowerState.UP

@@ -1,0 +1,131 @@
+"""Virtual machines: the schedulable unit of work.
+
+The prototype hosts every workload in a Xen VM so the controller can
+spawn, pause, and migrate them. Here a :class:`VM` binds a workload
+profile to mutable placement/progress state:
+
+- **progress** — an instruction-proxy counter: a VM accrues
+  ``utilisation x frequency-speed x dt`` while its host is up and it is
+  not migrating or checkpointed; this is the paper's "compute throughput"
+  (Fig. 20);
+- **migration** — stop-and-copy: the VM stalls for
+  :data:`MIGRATION_SECONDS` during which it makes no progress but its
+  memory copy loads *both* hosts (a small power adder), reproducing the
+  "frequent VM stop and restart" overhead that hurts BAAT-h;
+- **checkpoint** — when a node browns out the VM state is saved; resuming
+  costs :data:`RESUME_SECONDS` of stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.datacenter.workloads import WorkloadProfile
+from repro.errors import MigrationError
+
+#: Stop-and-copy migration stall (seconds). Xen-era migration of a loaded,
+#: memory-heavy VM over the prototype's Ethernet parks the guest for
+#: minutes; the paper's BAAT-h suffers "frequent VM stop and restart"
+#: overhead.
+MIGRATION_SECONDS = 300.0
+
+#: Power adder (W) on source and destination while a migration is in flight.
+MIGRATION_POWER_W = 15.0
+
+#: Stall to resume a checkpointed VM after a brownout.
+RESUME_SECONDS = 300.0
+
+
+@dataclass
+class VM:
+    """One virtual machine hosting one workload.
+
+    Attributes
+    ----------
+    name:
+        Unique VM label.
+    workload:
+        The utilisation process this VM runs.
+    host:
+        Name of the node currently hosting the VM (None = unplaced).
+    pinned:
+        Pinned VMs cannot be migrated (resource constraints elsewhere in
+        the datacenter — the condition that forces BAAT to fall back from
+        migration to DVFS in Fig. 9).
+    """
+
+    name: str
+    workload: WorkloadProfile
+    host: Optional[str] = None
+    pinned: bool = False
+    progress: float = 0.0
+    migrations: int = 0
+    _stall_remaining_s: float = field(default=0.0, repr=False)
+    _cache_t: float = field(default=float("nan"), repr=False)
+    _cache_util: float = field(default=0.0, repr=False)
+
+    @property
+    def is_stalled(self) -> bool:
+        """True while the VM is migrating or resuming from checkpoint."""
+        return self._stall_remaining_s > 0.0
+
+    def utilization(self, t: float, rng: Optional[np.random.Generator] = None) -> float:
+        """CPU utilisation demanded at time ``t`` (zero while stalled).
+
+        Stochastic draws are cached per timestamp so the power-routing and
+        progress-accounting passes of one simulation step see the same
+        utilisation sample.
+        """
+        if self.is_stalled:
+            return 0.0
+        if rng is not None and t == self._cache_t:
+            return self._cache_util
+        util = self.workload.utilization_at(t, rng)
+        if rng is not None:
+            self._cache_t = t
+            self._cache_util = util
+        return util
+
+    def begin_migration(self, destination: str) -> None:
+        """Start a stop-and-copy migration to ``destination``.
+
+        Raises :class:`MigrationError` for pinned or unplaced VMs and for
+        migrations to the current host.
+        """
+        if self.pinned:
+            raise MigrationError(f"VM {self.name} is pinned and cannot migrate")
+        if self.host is None:
+            raise MigrationError(f"VM {self.name} is not placed anywhere")
+        if destination == self.host:
+            raise MigrationError(f"VM {self.name} is already on {destination}")
+        self.host = destination
+        self.migrations += 1
+        self._stall_remaining_s = MIGRATION_SECONDS
+
+    def checkpoint(self) -> None:
+        """Save VM state during a brownout; resuming will cost a stall."""
+        self._stall_remaining_s = max(self._stall_remaining_s, RESUME_SECONDS)
+
+    def advance(self, dt: float, speed_factor: float, t: float,
+                rng: Optional[np.random.Generator] = None) -> float:
+        """Advance the VM by ``dt`` seconds at the host's speed factor.
+
+        Returns the progress accrued (utilisation x speed x active time).
+        Stall time is consumed first and accrues nothing.
+        """
+        if dt <= 0:
+            return 0.0
+        active_dt = dt
+        if self._stall_remaining_s > 0.0:
+            consumed = min(self._stall_remaining_s, dt)
+            self._stall_remaining_s -= consumed
+            active_dt = dt - consumed
+        if active_dt <= 0.0:
+            return 0.0
+        util = self.utilization(t, rng)
+        gained = util * speed_factor * active_dt
+        self.progress += gained
+        return gained

@@ -1,0 +1,11 @@
+"""One module per paper table/figure (see DESIGN.md section 4).
+
+Every module exposes ``run(quick=True, seed=...) -> ExperimentResult``;
+``quick`` trades sweep density for speed so the whole benchmark suite
+finishes in minutes. The corresponding bench in ``benchmarks/`` simply
+calls ``run`` and prints the resulting table.
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

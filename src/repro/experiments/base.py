@@ -1,0 +1,52 @@
+"""Common result container for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated paper figure/table.
+
+    Attributes
+    ----------
+    exp_id:
+        Paper artifact id, e.g. ``"fig14"``.
+    title:
+        What the artifact shows.
+    headers / rows:
+        The tabular data (series are rows with a label column).
+    headline:
+        Key scalar comparisons ("BAAT lifetime vs e-Buff: +64 %"),
+        mirroring the numbers the paper quotes in prose.
+    notes:
+        Caveats / interpretation guidance.
+    """
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    headline: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.exp_id or not self.title:
+            raise ConfigurationError("exp_id and title are required")
+
+    def to_text(self) -> str:
+        """Render the figure as a text block (table + headlines + notes)."""
+        parts = [format_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")]
+        if self.headline:
+            parts.append("")
+            for key, value in self.headline.items():
+                parts.append(f"  {key}: {value:+.1f}%" if "%" in key else f"  {key}: {value:.3f}")
+        if self.notes:
+            parts.append("")
+            parts.append(f"  note: {self.notes}")
+        return "\n".join(parts)

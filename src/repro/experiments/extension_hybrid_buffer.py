@@ -1,0 +1,124 @@
+"""Extension — hybrid energy buffers (the paper's reference [52], HEB).
+
+The paper's related work points to hybrid buffers as the next step:
+"HEB: Deploying and Managing Hybrid Energy Buffers for Improving
+Datacenter Efficiency and Economy" (ISCA'15, same authors). This
+experiment implements the idea at the per-node level and quantifies the
+claim that underlies it: shaving the *rate* spikes off the battery's
+duty (with a tiny supercap) slows battery aging even when the *energy*
+the battery delivers is unchanged.
+
+Setup: one month of a spiky daily duty — a steady base draw with
+short high-power bursts, then a solar-style recharge — served by
+(a) a bare battery and (b) the same battery behind a supercap. We report
+battery fade, peak battery rate, and delivered energy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.battery.hybrid import HybridBuffer
+from repro.battery.supercap import Supercapacitor, SupercapParams
+from repro.battery.unit import BatteryUnit
+from repro.experiments.base import ExperimentResult
+from repro.rng import DEFAULT_SEED, spawn
+from repro.units import SECONDS_PER_HOUR
+
+#: Second-scale timestep: spikes live at the timescale a supercap serves.
+DT_S = 10.0
+BASE_W = 35.0
+BURST_W = 400.0
+#: Bursts per active hour and burst length (seconds).
+BURSTS_PER_HOUR = 10
+BURST_S = 20.0
+ACTIVE_HOURS = 6.0
+CHARGE_W = 55.0
+CHARGE_HOURS = 8.0
+
+
+def _run_duty(buffer, days: int, seed: int) -> dict:
+    """Run the spiky duty; returns battery stats."""
+    rng = spawn(seed, "hybrid/bursts")
+    battery: BatteryUnit = buffer.battery if isinstance(buffer, HybridBuffer) else buffer
+    peak_battery_current = 0.0
+    delivered_wh = 0.0
+    unserved_wh = 0.0
+    burst_steps = 0
+    battery_spike_steps = 0
+    gentle_a = 3.0 * battery.params.reference_current
+    steps_active = int(ACTIVE_HOURS * SECONDS_PER_HOUR / DT_S)
+    burst_prob = BURSTS_PER_HOUR * (BURST_S / SECONDS_PER_HOUR)
+    for _day in range(days):
+        for _ in range(steps_active):
+            bursting = rng.random() < burst_prob
+            want = BASE_W + (BURST_W if bursting else 0.0)
+            result = buffer.discharge(want, DT_S)
+            delivered_wh += result.delivered_power_w * DT_S / SECONDS_PER_HOUR
+            unserved_wh += max(0.0, want - result.delivered_power_w) * DT_S / 3600.0
+            current = abs(battery._last_current)
+            peak_battery_current = max(peak_battery_current, current)
+            if bursting:
+                burst_steps += 1
+                if current > 1.1 * gentle_a:
+                    battery_spike_steps += 1
+        for _ in range(int(CHARGE_HOURS * SECONDS_PER_HOUR / DT_S)):
+            buffer.charge(CHARGE_W, DT_S)
+        buffer.rest((24.0 - ACTIVE_HOURS - CHARGE_HOURS) * SECONDS_PER_HOUR)
+    return {
+        "fade": battery.capacity_fade,
+        "peak_rate": peak_battery_current / battery.params.reference_current,
+        "delivered_wh": delivered_wh,
+        "unserved_wh": unserved_wh,
+        "spike_exposure": battery_spike_steps / burst_steps if burst_steps else 0.0,
+    }
+
+
+def run(quick: bool = True, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Bare battery vs hybrid buffer under a spiky month of duty."""
+    days = 14 if quick else 60
+    bare = _run_duty(BatteryUnit(name="bare"), days, seed)
+    # A 3-module bank (~6 Wh usable) sized to ride consecutive bursts.
+    cap = Supercapacitor(SupercapParams(capacitance_f=165.0, max_power_w=2000.0))
+    hybrid = _run_duty(HybridBuffer(supercap=cap, name="hybrid"), days, seed)
+
+    rows: List[Sequence[object]] = [
+        (
+            label,
+            stats["fade"] / days * 1000.0,
+            stats["peak_rate"],
+            stats["delivered_wh"] / days,
+            stats["unserved_wh"] / days,
+            stats["spike_exposure"],
+        )
+        for label, stats in (("battery only", bare), ("hybrid (cap + battery)", hybrid))
+    ]
+    aging_cut = (1.0 - hybrid["fade"] / bare["fade"]) * 100.0 if bare["fade"] else 0.0
+    return ExperimentResult(
+        exp_id="ext-hybrid",
+        title="Hybrid energy buffer vs bare battery under spiky duty",
+        headers=(
+            "buffer",
+            "battery fade/day x1e-3",
+            "peak battery rate (xC/20)",
+            "served Wh/day",
+            "unserved Wh/day",
+            "battery burst exposure",
+        ),
+        rows=rows,
+        headline={
+            "hybrid battery-aging cut %": aging_cut,
+            "battery burst-exposure cut %": (
+                (1.0 - hybrid["spike_exposure"] / bare["spike_exposure"]) * 100.0
+                if bare["spike_exposure"]
+                else 0.0
+            ),
+        },
+        notes=(
+            "the HEB premise: a ~6 Wh supercap bank absorbs second-scale spikes, "
+            "so the battery never sees the high-rate stress of section "
+            "III-E while serving the same energy"
+        ),
+    )

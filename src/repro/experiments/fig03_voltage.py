@@ -1,0 +1,37 @@
+"""Fig. 3 — measured battery voltage drop due to aging over 6 months.
+
+Paper result: the fully-charged terminal voltage of a cyclically used
+battery drops ~9 % over six months, and the droop rate *accelerates*
+(~0.1 V/month early, ~0.3 V/month late).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.aging_campaign import run_campaign
+from repro.experiments.base import ExperimentResult
+from repro.rng import DEFAULT_SEED
+
+
+def run(quick: bool = True, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Regenerate Fig. 3 from the shared six-month campaign."""
+    campaign = run_campaign(seed)
+    rows = [
+        (f"month {s.month}", s.full_charge_voltage_v, s.capacity_fade)
+        for s in campaign.snapshots
+    ]
+    early, late = campaign.voltage_droop_rate_v_per_month()
+    return ExperimentResult(
+        exp_id="fig03",
+        title="Full-charge battery voltage over 6 months of cyclic use",
+        headers=("month", "full-charge voltage (V)", "capacity fade"),
+        rows=rows,
+        headline={
+            "voltage drop over 6 months %": campaign.voltage_drop_percent(),
+            "early droop (V/month)": early,
+            "late droop (V/month)": late,
+        },
+        notes=(
+            "paper: ~9 % drop, droop accelerating 0.1 -> 0.3 V/month; "
+            "the model reproduces the magnitude and the acceleration sign"
+        ),
+    )

@@ -1,0 +1,99 @@
+"""Fig. 17 — trading battery-life savings for server capacity.
+
+Paper results: the depreciation saved by BAAT's longer battery life buys
+extra servers at constant TCO — up to ~15 % more in sun-rich locations —
+but the expansion ratio grows sublinearly because added servers raise the
+server-to-battery ratio and shorten battery life again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.lifetime import lifetime_for_policies
+from repro.cost.depreciation import DepreciationModel
+from repro.cost.expansion import ExpansionModel, expansion_at_constant_tco
+from repro.cost.tco import TCOModel
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import sweep_scenario
+from repro.rng import DEFAULT_SEED
+
+QUICK_FRACTIONS = (0.3, 0.55, 0.8)
+FULL_FRACTIONS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95)
+
+#: Ratios used to fit the lifetime-vs-load response for the fixed point.
+FIT_RATIOS = (4.3, 8.0)
+
+
+def _fit_lifetime_of_ratio(scenario_seed: int, sunshine: float, n_days: int):
+    """Fit ``lifetime = a * ratio ** b`` through two sweep points."""
+    points = []
+    for ratio in FIT_RATIOS:
+        scenario = sweep_scenario(seed=scenario_seed).with_server_to_battery_ratio(ratio)
+        est = lifetime_for_policies(
+            scenario, sunshine_fraction=sunshine, n_days=n_days, policies=("baat",)
+        )["baat"]
+        points.append((ratio, max(est.lifetime_days, 1.0)))
+    (r0, l0), (r1, l1) = points
+    b = float(np.log(l1 / l0) / np.log(r1 / r0))
+    a = l0 / r0**b
+    return lambda ratio: a * ratio**b
+
+
+def run(
+    quick: bool = True,
+    seed: int = DEFAULT_SEED,
+    fractions: Sequence[float] = (),
+) -> ExperimentResult:
+    """Constant-TCO expansion per sunshine fraction."""
+    if not fractions:
+        fractions = QUICK_FRACTIONS if quick else FULL_FRACTIONS
+    n_days = 4 if quick else 8
+
+    rows: List[Sequence[object]] = []
+    expansions: Dict[float, float] = {}
+    for sunshine in fractions:
+        scenario = sweep_scenario(seed=seed)
+        estimates = lifetime_for_policies(
+            scenario,
+            sunshine_fraction=sunshine,
+            n_days=n_days,
+            policies=("e-buff", "baat"),
+        )
+        lifetime_fn = _fit_lifetime_of_ratio(seed, sunshine, n_days)
+        depreciation = DepreciationModel(scenario.battery, n_batteries=scenario.n_nodes)
+        tco = TCOModel(depreciation=depreciation)
+        model = ExpansionModel(
+            tco=tco,
+            baseline_servers=scenario.n_nodes,
+            lifetime_of_ratio=lifetime_fn,
+            baseline_lifetime_days=estimates["e-buff"].lifetime_days,
+            baseline_ratio_w_per_ah=scenario.server_to_battery_ratio,
+            # Surplus solar grows with sunshine; rich locations can power
+            # up to ~20 % extra servers from otherwise-fed-back energy.
+            solar_headroom_fraction=min(0.20, max(0.0, sunshine - 0.2) * 0.3),
+        )
+        expansion = expansion_at_constant_tco(model)
+        expansions[sunshine] = expansion
+        rows.append(
+            (
+                f"{sunshine:.0%}",
+                estimates["e-buff"].lifetime_days,
+                estimates["baat"].lifetime_days,
+                expansion * 100.0,
+            )
+        )
+
+    return ExperimentResult(
+        exp_id="fig17",
+        title="Servers addable at constant TCO vs sunshine fraction",
+        headers=("sunshine", "e-buff life (d)", "baat life (d)", "expansion %"),
+        rows=rows,
+        headline={"max expansion %": max(expansions.values()) * 100.0},
+        notes=(
+            "paper: up to ~15 % more servers in sun-rich locations, "
+            "sublinear because added load shortens battery life"
+        ),
+    )

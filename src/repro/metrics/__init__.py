@@ -1,0 +1,47 @@
+"""Battery aging metrics (paper section III).
+
+Five metrics computable from runtime sensor logs quantify how operating
+conditions drive aging:
+
+- **NAT** — Normalized Ah Throughput (Eq. 1): cumulative discharged charge
+  over the battery's nominal life-long dischargeable charge;
+- **CF** — Charge Factor (Eq. 2): cumulative charge-in over charge-out;
+  healthy partial cycling sits near 1-1.3;
+- **PC** — Partial Cycling (Eqs. 3-4): SoC-region-weighted share of the
+  Ah output; higher = more charge drawn at damaging low SoC;
+- **DDT** — Deep Discharge Time (Eq. 5): fraction of wall-clock time spent
+  below 40 % SoC;
+- **DR** — Discharge Rate: mean/peak rate statistics plus the dangerous
+  high-rate-at-low-SoC exposure.
+
+:class:`~repro.metrics.tracker.MetricsTracker` accumulates these online
+from ``(soc, current, dt)`` observations — exactly the Table-2 sensor
+variables. :mod:`~repro.metrics.weighted` implements the Eq.-6 weighted
+aging score with Table-3 weight selection.
+"""
+
+from repro.metrics.accumulator import MetricsAccumulator, SOC_REGIONS, soc_region
+from repro.metrics.snapshot import AgingMetrics
+from repro.metrics.tracker import MetricsTracker
+from repro.metrics.weighted import (
+    DemandClass,
+    MetricWeights,
+    classify_demand,
+    weights_for_demand,
+    weighted_aging_score,
+    node_aging_score,
+)
+
+__all__ = [
+    "MetricsAccumulator",
+    "SOC_REGIONS",
+    "soc_region",
+    "AgingMetrics",
+    "MetricsTracker",
+    "DemandClass",
+    "MetricWeights",
+    "classify_demand",
+    "weights_for_demand",
+    "weighted_aging_score",
+    "node_aging_score",
+]

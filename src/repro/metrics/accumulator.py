@@ -1,0 +1,140 @@
+"""Raw accumulators underlying the five aging metrics.
+
+:class:`MetricsAccumulator` holds nothing but integrals — discharged and
+charged ampere-hours (total and per SoC region), time totals, and rate
+statistics — so that snapshots can be subtracted to obtain metrics over
+any window (a day, a weather episode, a whole deployment). All five paper
+metrics are pure functions of these integrals, computed in
+:mod:`repro.metrics.snapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_HOUR
+
+#: The paper's four SoC ranges (Eq. 3): A (100-80 %), B (79-60 %),
+#: C (59-40 %), D (39-0 %), keyed by label with (low, high] bounds.
+SOC_REGIONS: Dict[str, Tuple[float, float]] = {
+    "A": (0.80, 1.001),
+    "B": (0.60, 0.80),
+    "C": (0.40, 0.60),
+    "D": (0.00, 0.40),
+}
+
+#: Eq. 4 linear weighting factors: cycling at low SoC damages more.
+PC_WEIGHTS: Dict[str, float] = {"A": 1.0, "B": 2.0, "C": 3.0, "D": 4.0}
+
+#: Eq. 5 deep-discharge threshold (H(39 % - SoC)).
+DEEP_DISCHARGE_SOC = 0.40
+
+
+def soc_region(soc: float) -> str:
+    """Map an SoC fraction to its paper region label (A-D)."""
+    if soc >= 0.80:
+        return "A"
+    if soc >= 0.60:
+        return "B"
+    if soc >= 0.40:
+        return "C"
+    return "D"
+
+
+@dataclass
+class MetricsAccumulator:
+    """Additive integrals from a battery's sensor stream.
+
+    All charge quantities are in ampere-hours, times in seconds. The
+    object is a value type: ``a - b`` yields the integrals accumulated
+    between snapshot ``b`` and snapshot ``a``.
+    """
+
+    discharged_ah: float = 0.0
+    charged_ah: float = 0.0
+    region_discharged_ah: Dict[str, float] = field(
+        default_factory=lambda: {k: 0.0 for k in SOC_REGIONS}
+    )
+    total_time_s: float = 0.0
+    deep_discharge_time_s: float = 0.0
+    discharge_time_s: float = 0.0
+    #: Integral of discharge current over discharge time (for the mean rate).
+    discharge_current_time_as: float = 0.0
+    peak_discharge_current_a: float = 0.0
+    #: Time spent discharging above the reference rate while below 40 % SoC
+    #: — the specifically dangerous DR condition (section III-E).
+    high_rate_low_soc_time_s: float = 0.0
+
+    def observe(self, soc: float, current: float, dt: float, reference_current: float) -> None:
+        """Fold one sensor sample into the integrals.
+
+        Parameters
+        ----------
+        soc:
+            State of charge at the sample, in [0, 1].
+        current:
+            Signed terminal current (positive = discharge), amperes.
+        dt:
+            Sample duration in seconds.
+        reference_current:
+            The battery's nominal rate, for the high-rate classification.
+        """
+        if dt < 0:
+            raise ConfigurationError("dt must be non-negative")
+        self.total_time_s += dt
+        if soc < DEEP_DISCHARGE_SOC:
+            self.deep_discharge_time_s += dt
+        if current > 0.0:
+            ah = current * dt / SECONDS_PER_HOUR
+            self.discharged_ah += ah
+            self.region_discharged_ah[soc_region(soc)] += ah
+            self.discharge_time_s += dt
+            self.discharge_current_time_as += current * dt
+            if current > self.peak_discharge_current_a:
+                self.peak_discharge_current_a = current
+            if soc < DEEP_DISCHARGE_SOC and current > reference_current:
+                self.high_rate_low_soc_time_s += dt
+        elif current < 0.0:
+            self.charged_ah += -current * dt / SECONDS_PER_HOUR
+
+    def copy(self) -> "MetricsAccumulator":
+        """Independent snapshot of the integrals."""
+        snap = MetricsAccumulator(
+            discharged_ah=self.discharged_ah,
+            charged_ah=self.charged_ah,
+            region_discharged_ah=dict(self.region_discharged_ah),
+            total_time_s=self.total_time_s,
+            deep_discharge_time_s=self.deep_discharge_time_s,
+            discharge_time_s=self.discharge_time_s,
+            discharge_current_time_as=self.discharge_current_time_as,
+            peak_discharge_current_a=self.peak_discharge_current_a,
+            high_rate_low_soc_time_s=self.high_rate_low_soc_time_s,
+        )
+        return snap
+
+    def __sub__(self, other: "MetricsAccumulator") -> "MetricsAccumulator":
+        """Integrals accumulated since ``other`` was snapshotted.
+
+        The peak rate is not subtractive; the later snapshot's peak is kept
+        (an upper bound for the window).
+        """
+        return MetricsAccumulator(
+            discharged_ah=self.discharged_ah - other.discharged_ah,
+            charged_ah=self.charged_ah - other.charged_ah,
+            region_discharged_ah={
+                k: self.region_discharged_ah[k] - other.region_discharged_ah[k]
+                for k in SOC_REGIONS
+            },
+            total_time_s=self.total_time_s - other.total_time_s,
+            deep_discharge_time_s=self.deep_discharge_time_s - other.deep_discharge_time_s,
+            discharge_time_s=self.discharge_time_s - other.discharge_time_s,
+            discharge_current_time_as=(
+                self.discharge_current_time_as - other.discharge_current_time_as
+            ),
+            peak_discharge_current_a=self.peak_discharge_current_a,
+            high_rate_low_soc_time_s=(
+                self.high_rate_low_soc_time_s - other.high_rate_low_soc_time_s
+            ),
+        )

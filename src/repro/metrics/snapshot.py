@@ -1,0 +1,157 @@
+"""The five aging metrics as a value object.
+
+:class:`AgingMetrics` computes NAT, CF, PC, DDT, and DR from a
+:class:`~repro.metrics.accumulator.MetricsAccumulator` window, following
+the paper's Eqs. 1-5 exactly. It is immutable so that policy code can
+compare, rank, and log metric snapshots freely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.metrics.accumulator import PC_WEIGHTS, SOC_REGIONS, MetricsAccumulator
+from repro.units import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class AgingMetrics:
+    """One window's aging metrics for one battery.
+
+    Attributes
+    ----------
+    nat:
+        Normalized Ah Throughput (Eq. 1) — discharged Ah over the nominal
+        life-long dischargeable charge ``CAP_nom``. A new battery's whole
+        life spans NAT 0 -> ~1.
+    cf:
+        Charge Factor (Eq. 2) — charged Ah over discharged Ah within the
+        window. ``inf`` when the window saw charging but no discharging;
+        1.0 for a window with neither (a resting battery is neutral).
+    pc:
+        Partial Cycling (Eqs. 3-4) — region-weighted Ah-output share.
+        Ranges 0.25 (all output in region A) to 1.0 (all in region D);
+        0 when the window had no discharge. Higher = more damaging.
+    ddt:
+        Deep Discharge Time (Eq. 5) — fraction of the window spent below
+        40 % SoC, in [0, 1].
+    dr_mean / dr_peak:
+        Mean and peak discharge rate normalised to the reference (20-h)
+        current.
+    dr_low_soc_exposure:
+        Fraction of the window spent discharging above the reference rate
+        while below 40 % SoC — the dangerous DR condition.
+    region_shares:
+        ``PC_X`` of Eq. 3 per region label, summing to 1 when discharge
+        occurred.
+    """
+
+    nat: float
+    cf: float
+    pc: float
+    ddt: float
+    dr_mean: float
+    dr_peak: float
+    dr_low_soc_exposure: float
+    region_shares: Dict[str, float]
+    discharged_ah: float
+    charged_ah: float
+    window_s: float
+
+    @classmethod
+    def from_accumulator(
+        cls,
+        acc: MetricsAccumulator,
+        lifetime_ah_throughput: float,
+        reference_current: float,
+    ) -> "AgingMetrics":
+        """Compute the metrics for an accumulator window.
+
+        Parameters
+        ----------
+        lifetime_ah_throughput:
+            ``CAP_nom`` of Eq. 1 — the nominal life-long Ah output.
+        reference_current:
+            Nominal discharge current for rate normalisation.
+        """
+        if lifetime_ah_throughput <= 0:
+            raise ConfigurationError("lifetime_ah_throughput must be positive")
+        if reference_current <= 0:
+            raise ConfigurationError("reference_current must be positive")
+
+        nat = acc.discharged_ah / lifetime_ah_throughput
+
+        if acc.discharged_ah > 1e-12:
+            cf = acc.charged_ah / acc.discharged_ah
+        elif acc.charged_ah > 1e-12:
+            cf = math.inf
+        else:
+            cf = 1.0
+
+        if acc.discharged_ah > 1e-12:
+            shares = {
+                k: acc.region_discharged_ah[k] / acc.discharged_ah for k in SOC_REGIONS
+            }
+            pc = sum(shares[k] * PC_WEIGHTS[k] for k in SOC_REGIONS) / 4.0
+        else:
+            shares = {k: 0.0 for k in SOC_REGIONS}
+            pc = 0.0
+
+        ddt = (
+            acc.deep_discharge_time_s / acc.total_time_s if acc.total_time_s > 0 else 0.0
+        )
+
+        if acc.discharge_time_s > 0:
+            mean_current = acc.discharge_current_time_as / acc.discharge_time_s
+        else:
+            mean_current = 0.0
+        dr_mean = mean_current / reference_current
+        dr_peak = acc.peak_discharge_current_a / reference_current
+        dr_exposure = (
+            acc.high_rate_low_soc_time_s / acc.total_time_s if acc.total_time_s > 0 else 0.0
+        )
+
+        return cls(
+            nat=nat,
+            cf=cf,
+            pc=pc,
+            ddt=ddt,
+            dr_mean=dr_mean,
+            dr_peak=dr_peak,
+            dr_low_soc_exposure=dr_exposure,
+            region_shares=shares,
+            discharged_ah=acc.discharged_ah,
+            charged_ah=acc.charged_ah,
+            window_s=acc.total_time_s,
+        )
+
+    @property
+    def cf_deficit(self) -> float:
+        """How far the charge factor falls below the healthy band.
+
+        0 when CF >= 1 (every discharged Ah returned); approaches 1 as CF
+        approaches 0. This is the "badness" orientation of CF used in the
+        weighted aging score: a *low* CF signals sulphation/stratification
+        risk (section III-B).
+        """
+        if math.isinf(self.cf) or self.cf >= 1.0:
+            return 0.0
+        return 1.0 - max(0.0, self.cf)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for logging and table rendering."""
+        return {
+            "nat": self.nat,
+            "cf": self.cf,
+            "pc": self.pc,
+            "ddt": self.ddt,
+            "dr_mean": self.dr_mean,
+            "dr_peak": self.dr_peak,
+            "dr_low_soc_exposure": self.dr_low_soc_exposure,
+            "discharged_ah": self.discharged_ah,
+            "charged_ah": self.charged_ah,
+            "window_s": self.window_s,
+        }

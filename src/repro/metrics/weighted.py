@@ -1,0 +1,149 @@
+"""Weighted aging score (Eq. 6) and Table-3 weight selection.
+
+BAAT's hiding scheduler ranks battery nodes by a weighted combination of
+three metrics::
+
+    Weighted_aging = a * dCF + b * dPC + c * dNAT        (Eq. 6)
+
+where the weighting factors ``a, b, c`` are picked from the workload's
+power/energy demand class (Table 3): each metric's sensitivity to the
+demand is classified High / Medium / Low, mapped to 50 % / 30 % / 20 %.
+
+Orientation note
+----------------
+The paper states "a large value of the weighted aging indicates the fast
+aging pace" while also noting that a *low* CF and a *low* PC-region
+residence signal damage in its Fig. 12 discussion (an internal tension with
+Eq. 4, where low-SoC cycling *raises* PC). We resolve it by feeding Eq. 6
+with *badness-oriented* terms so the stated property holds uniformly:
+
+- ``dNAT`` — normalized throughput consumed (more = worse);
+- ``dPC``  — the Eq. 3-4 partial-cycling value (higher = more low-SoC
+  output = worse, per section III-C);
+- ``dCF``  — the charge-factor *deficit* ``max(0, 1 - CF)`` (further below
+  the healthy >= 1 band = worse, per section III-B).
+
+This keeps every term monotone in damage, so ranking by the score places
+new load on the genuinely slowest-aging node.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.metrics.snapshot import AgingMetrics
+
+#: Table-3 impact levels mapped to weighting factors (paper: 50/30/20 %).
+WEIGHT_HIGH = 0.50
+WEIGHT_MEDIUM = 0.30
+WEIGHT_LOW = 0.20
+
+#: Power demand is "Large" when load exceeds this fraction of peak power.
+LARGE_POWER_FRACTION = 0.50
+
+
+class DemandClass(enum.Enum):
+    """The four power x energy demand quadrants of Table 3."""
+
+    LARGE_LESS = "large_power_less_energy"
+    LARGE_MORE = "large_power_more_energy"
+    SMALL_MORE = "small_power_more_energy"
+    SMALL_LESS = "small_power_less_energy"
+
+
+@dataclass(frozen=True)
+class MetricWeights:
+    """Eq.-6 weighting factors ``(a, b, c)`` for (CF, PC, NAT)."""
+
+    cf: float
+    pc: float
+    nat: float
+
+    def __post_init__(self) -> None:
+        for value in (self.cf, self.pc, self.nat):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError("weights must be in [0, 1]")
+
+
+#: Table 3, transcribed: demand class -> (dNAT, dCF, dPC) impact levels.
+_TABLE3 = {
+    DemandClass.LARGE_LESS: MetricWeights(cf=WEIGHT_HIGH, pc=WEIGHT_HIGH, nat=WEIGHT_MEDIUM),
+    DemandClass.LARGE_MORE: MetricWeights(cf=WEIGHT_HIGH, pc=WEIGHT_HIGH, nat=WEIGHT_HIGH),
+    DemandClass.SMALL_MORE: MetricWeights(cf=WEIGHT_LOW, pc=WEIGHT_MEDIUM, nat=WEIGHT_HIGH),
+    DemandClass.SMALL_LESS: MetricWeights(cf=WEIGHT_LOW, pc=WEIGHT_LOW, nat=WEIGHT_LOW),
+}
+
+#: Neutral weights used when no workload profile is available (the paper's
+#: evaluation also weights the three metrics equally in section VI-B).
+EQUAL_WEIGHTS = MetricWeights(cf=1.0 / 3.0, pc=1.0 / 3.0, nat=1.0 / 3.0)
+
+
+def classify_demand(
+    mean_power_w: float, peak_power_w: float, energy_wh: float, energy_threshold_wh: float
+) -> DemandClass:
+    """Classify a workload into its Table-3 quadrant.
+
+    Parameters
+    ----------
+    mean_power_w:
+        The workload's average power draw.
+    peak_power_w:
+        The server's peak power (the 50 % line is relative to this).
+    energy_wh:
+        Total energy the workload will consume (power x running length).
+    energy_threshold_wh:
+        The More/Less energy split point for this deployment.
+    """
+    if peak_power_w <= 0:
+        raise ConfigurationError("peak_power_w must be positive")
+    if mean_power_w < 0 or energy_wh < 0:
+        raise ConfigurationError("power and energy must be non-negative")
+    large = mean_power_w > LARGE_POWER_FRACTION * peak_power_w
+    more = energy_wh > energy_threshold_wh
+    if large and more:
+        return DemandClass.LARGE_MORE
+    if large:
+        return DemandClass.LARGE_LESS
+    if more:
+        return DemandClass.SMALL_MORE
+    return DemandClass.SMALL_LESS
+
+
+def weights_for_demand(demand: DemandClass) -> MetricWeights:
+    """Table-3 lookup: Eq.-6 weights for a demand class."""
+    return _TABLE3[demand]
+
+
+def weighted_aging_score(
+    d_cf_deficit: float, d_pc: float, d_nat: float, weights: MetricWeights
+) -> float:
+    """Eq. 6 with badness-oriented terms (see module docstring).
+
+    Higher scores mean faster aging. Inputs are expected in comparable
+    0-ish..1-ish scales: the CF deficit and PC are already in [0, 1];
+    NAT deltas are small fractions, so the caller typically scales them
+    (see :func:`node_aging_score`).
+    """
+    return weights.cf * d_cf_deficit + weights.pc * d_pc + weights.nat * d_nat
+
+
+#: NAT is a small fraction per window; scale it into the same 0..1-ish band
+#: as the CF deficit and PC so no term numerically dominates. A node that
+#: burned 2 % of its lifetime throughput in the scoring window saturates.
+NAT_SCORE_SCALE = 50.0
+
+
+def node_aging_score(metrics: AgingMetrics, weights: MetricWeights) -> float:
+    """Rank-ready weighted aging score for one battery node's window.
+
+    This is the quantity BAAT ranks across all battery nodes when placing
+    or consolidating load (Fig. 8) and when picking a migration target
+    (Fig. 9): the node with the *minimum* score is the slowest-aging and
+    receives new load.
+    """
+    nat_term = min(1.0, metrics.nat * NAT_SCORE_SCALE)
+    cf_term = metrics.cf_deficit if not math.isinf(metrics.cf) else 0.0
+    return weighted_aging_score(cf_term, metrics.pc, nat_term, weights)

@@ -1,0 +1,228 @@
+"""The time-stepped simulation engine.
+
+One :class:`Simulation` executes one policy against one scenario and one
+solar trace:
+
+1. Build the cluster, bind the policy, and let it place every VM.
+2. Step through the trace. Inside the operating window servers run their
+   VMs; the power path routes solar -> load -> battery each step and the
+   policy's control loop runs every control interval. Outside the window
+   servers are administratively off and surplus solar keeps charging the
+   batteries (the controller "precisely control[s] the battery charger so
+   that the stored energy reflects the actual solar power supply").
+3. Collect a :class:`~repro.sim.results.SimResult` with throughput, aging,
+   and availability statistics.
+
+Day boundaries reset the controller's metric windows and call the
+policy's day hook (planned aging recomputes DoD goals there).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.core.policies.base import Policy
+from repro.datacenter.power_path import PowerPath
+from repro.errors import ConfigurationError, SimulationError
+from repro.rng import spawn
+from repro.sim.recorder import TraceRecorder
+from repro.sim.results import NodeResult, SimResult
+from repro.sim.scenario import Scenario
+from repro.solar.trace import SolarTrace
+from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+#: Tracker mark labelling the start of the simulation (run-wide metrics).
+RUN_MARK = "sim/run-start"
+
+
+class Simulation:
+    """Runs one policy over one scenario and solar trace."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        policy: Policy,
+        trace: SolarTrace,
+        record_series: bool = False,
+    ):
+        if abs(trace.dt_s - scenario.dt_s) > 1e-9:
+            raise ConfigurationError(
+                f"trace dt ({trace.dt_s}s) must match scenario dt ({scenario.dt_s}s)"
+            )
+        self.scenario = scenario
+        self.policy = policy
+        self.trace = trace
+        self.cluster = scenario.build_cluster()
+        self.policy.bind(self.cluster)
+        if scenario.architecture == "rack-pool":
+            from repro.datacenter.rack import RackPowerPath
+
+            self.power_path = RackPowerPath(
+                self.cluster, utility_budget_w=scenario.utility_budget_w
+            )
+        else:
+            self.power_path = PowerPath(
+                self.cluster, utility_budget_w=scenario.utility_budget_w
+            )
+        self.recorder = TraceRecorder(
+            [n.name for n in self.cluster], record_series=record_series
+        )
+        self._rng = spawn(scenario.seed, f"workload/{policy.name}")
+        self._fade_start: Dict[str, float] = {}
+        self._placed = False
+
+    # ------------------------------------------------------------------
+    def deploy(self) -> None:
+        """Place every scenario VM through the policy (once)."""
+        if self._placed:
+            return
+        for vm in self.scenario.build_vms():
+            self.policy.place_vm(vm)
+        self._placed = True
+
+    def _begin(self) -> None:
+        """One-time setup before stepping: deploy VMs, mark trackers."""
+        if self._fade_start:
+            return
+        self.deploy()
+        for node in self.cluster:
+            node.tracker.mark(RUN_MARK)
+            self._fade_start[node.name] = node.battery.capacity_fade
+        self._last_draws: Dict[str, float] = {n.name: 0.0 for n in self.cluster}
+        self._step = 0
+
+    @property
+    def steps_total(self) -> int:
+        """Number of steps in the bound trace."""
+        return len(self.trace.power_w)
+
+    @property
+    def steps_done(self) -> int:
+        """Steps executed so far."""
+        return getattr(self, "_step", 0)
+
+    def step_once(self) -> None:
+        """Execute exactly one simulation step.
+
+        Exposed so tests and tools can interleave external events
+        (failure injection, live inspection) with the engine; :meth:`run`
+        is just a loop over this.
+        """
+        self._begin()
+        if self._step >= self.steps_total:
+            raise SimulationError("trace exhausted; no steps remain")
+        scenario = self.scenario
+        dt = scenario.dt_s
+        window_lo, window_hi = scenario.operating_window_h
+        control_every = max(1, int(round(scenario.control_interval_s / dt)))
+        steps_per_day = int(round(SECONDS_PER_DAY / dt))
+
+        step = self._step
+        solar_w = float(self.trace.power_w[step])
+        t = step * dt
+        tod_h = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        in_window = window_lo <= tod_h < window_hi
+
+        # Diurnal ambient temperature, peaking mid-afternoon (14:00).
+        ambient = scenario.ambient_mean_c + 0.5 * scenario.ambient_swing_c * (
+            math.cos(2.0 * math.pi * (tod_h - 14.0) / 24.0)
+        )
+        for node in self.cluster:
+            node.battery.thermal.ambient_c = ambient
+
+        if step % steps_per_day == 0:
+            self.policy.on_day_start(t)
+
+        for node in self.cluster:
+            node.server.admin_off = not in_window
+
+        if in_window and step % control_every == 0:
+            self.policy.control(t, dt, self._last_draws, solar_w=solar_w)
+
+        flows = self.power_path.step(t, dt, solar_w, rng=self._rng)
+
+        # Per-node battery draws for the next control pass (the DR
+        # signal): approximate by each node's battery discharge share.
+        for node in self.cluster:
+            current = max(0.0, node.battery._last_current)
+            voltage = node.battery.terminal_voltage(current)
+            self._last_draws[node.name] = current * max(voltage, 0.0)
+
+        # VM progress accounting. Overcommitted servers time-share: when
+        # hosted VMs demand more than one CPU, each runs at its
+        # proportional share (consolidation trades speed for staying
+        # powered, which the throughput metric must reflect).
+        if in_window:
+            for node in self.cluster:
+                speed = node.server.speed_factor()
+                if speed <= 0.0:
+                    for vm in list(node.server.vms):
+                        vm.advance(dt, 0.0, t, self._rng)
+                    continue
+                demand = sum(
+                    vm.utilization(t, self._rng) for vm in node.server.vms
+                )
+                contention = min(1.0, 1.0 / demand) if demand > 1.0 else 1.0
+                for vm in list(node.server.vms):
+                    vm.advance(dt, speed * contention, t, self._rng)
+
+        self.recorder.record(
+            t,
+            dt,
+            flows,
+            {n.name: n.battery.soc for n in self.cluster},
+            {n.name: n.battery._last_current for n in self.cluster},
+        )
+        self._step += 1
+
+    def run(self) -> SimResult:
+        """Execute the whole (remaining) trace and return the results."""
+        self._begin()
+        while self._step < self.steps_total:
+            self.step_once()
+        return self._collect()
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> SimResult:
+        nodes = []
+        for node in self.cluster:
+            metrics = node.tracker.since(RUN_MARK)
+            nodes.append(
+                NodeResult(
+                    name=node.name,
+                    fade_start=self._fade_start[node.name],
+                    fade_end=node.battery.capacity_fade,
+                    discharged_ah=metrics.discharged_ah,
+                    charged_ah=metrics.charged_ah,
+                    metrics=metrics,
+                    downtime_s=node.server.downtime_s,
+                    low_soc_time_s=self.recorder.low_soc_time_s[node.name],
+                    soc_distribution=self.recorder.soc_distribution(node.name),
+                    final_soc=node.battery.soc,
+                )
+            )
+        migrations = sum(vm.migrations for vm in self.cluster.vms.values())
+        dvfs = sum(n.server.dvfs_transitions for n in self.cluster)
+        return SimResult(
+            policy_name=self.policy.name,
+            duration_s=self.trace.duration_s,
+            throughput=self.cluster.total_progress(),
+            nodes=nodes,
+            total_downtime_s=sum(n.server.downtime_s for n in self.cluster),
+            migrations=migrations,
+            dvfs_transitions=dvfs,
+            unserved_wh=sum(n.unserved_wh for n in self.cluster),
+            feedback_wh=sum(n.feedback_wh for n in self.cluster),
+            recorder=self.recorder,
+        )
+
+
+def run_policy_on_trace(
+    scenario: Scenario,
+    policy: Policy,
+    trace: SolarTrace,
+    record_series: bool = False,
+) -> SimResult:
+    """Convenience one-shot: build, run, and return the result."""
+    return Simulation(scenario, policy, trace, record_series=record_series).run()

@@ -1,0 +1,118 @@
+"""Trace recorder: per-step time series captured during a run.
+
+Keeps compact numpy-backed series of the quantities the paper's figures
+plot over time — per-node SoC, solar generation, demand, battery flows —
+plus SoC histograms (Fig. 19's seven 15-%-wide bins) and low-SoC duration
+accounting (Fig. 18).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.datacenter.power_path import PowerFlows
+from repro.errors import ConfigurationError
+
+#: Fig. 19 bins: SoC1 [0,15) ... SoC6 [75,90), SoC7 [90,100].
+SOC_BIN_EDGES = (0.0, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90, 1.0001)
+SOC_BIN_LABELS = tuple(f"SoC{i}" for i in range(1, 8))
+
+#: The paper's low-SoC / deep-discharge line.
+LOW_SOC_THRESHOLD = 0.40
+
+
+def soc_bin(soc: float) -> int:
+    """Index of the Fig.-19 bin containing ``soc`` (0-based)."""
+    if not 0.0 <= soc <= 1.0:
+        raise ConfigurationError("soc must be in [0, 1]")
+    for i in range(len(SOC_BIN_EDGES) - 1):
+        if SOC_BIN_EDGES[i] <= soc < SOC_BIN_EDGES[i + 1]:
+            return i
+    return len(SOC_BIN_LABELS) - 1
+
+
+class TraceRecorder:
+    """Accumulates per-step series and distributions for one run."""
+
+    def __init__(self, node_names: List[str], record_series: bool = True):
+        self.node_names = list(node_names)
+        self.record_series = record_series
+        self.times_s: List[float] = []
+        self.solar_w: List[float] = []
+        self.demand_w: List[float] = []
+        self.battery_w: List[float] = []
+        self.feedback_w: List[float] = []
+        self.soc_series: Dict[str, List[float]] = {n: [] for n in self.node_names}
+        #: Signed per-node battery current (A, + = discharge), recorded
+        #: alongside SoC so intra-day metric curves (the paper's
+        #: Fig. 12(e)-(k)) can be recomputed offline.
+        self.current_series: Dict[str, List[float]] = {n: [] for n in self.node_names}
+        # Distributions are always recorded (cheap and needed by figures).
+        self.soc_time_s: Dict[str, np.ndarray] = {
+            n: np.zeros(len(SOC_BIN_LABELS)) for n in self.node_names
+        }
+        self.low_soc_time_s: Dict[str, float] = {n: 0.0 for n in self.node_names}
+        self.total_time_s: float = 0.0
+
+    def record(
+        self,
+        t: float,
+        dt: float,
+        flows: PowerFlows,
+        node_socs: Dict[str, float],
+        node_currents: Dict[str, float] | None = None,
+    ) -> None:
+        """Fold one step into the series and distributions."""
+        self.total_time_s += dt
+        for name, soc in node_socs.items():
+            self.soc_time_s[name][soc_bin(soc)] += dt
+            if soc < LOW_SOC_THRESHOLD:
+                self.low_soc_time_s[name] += dt
+        if self.record_series:
+            self.times_s.append(t)
+            self.solar_w.append(flows.solar_available_w)
+            self.demand_w.append(flows.demand_w)
+            self.battery_w.append(flows.battery_to_load_w)
+            self.feedback_w.append(flows.grid_feedback_w)
+            for name, soc in node_socs.items():
+                self.soc_series[name].append(soc)
+                current = (node_currents or {}).get(name, 0.0)
+                self.current_series[name].append(current)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def soc_distribution(self, node: str) -> Dict[str, float]:
+        """Fraction of time per Fig.-19 bin for one node."""
+        total = self.soc_time_s[node].sum()
+        if total <= 0:
+            return {label: 0.0 for label in SOC_BIN_LABELS}
+        return {
+            label: float(self.soc_time_s[node][i] / total)
+            for i, label in enumerate(SOC_BIN_LABELS)
+        }
+
+    def worst_low_soc_time_s(self) -> float:
+        """Low-SoC residence of the worst node (Fig. 18's headline)."""
+        return max(self.low_soc_time_s.values())
+
+    def low_soc_fraction(self, node: str) -> float:
+        """Share of the run the node's battery spent below 40 % SoC."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.low_soc_time_s[node] / self.total_time_s
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """Bulk numpy views of the recorded series."""
+        out = {
+            "times_s": np.asarray(self.times_s),
+            "solar_w": np.asarray(self.solar_w),
+            "demand_w": np.asarray(self.demand_w),
+            "battery_w": np.asarray(self.battery_w),
+            "feedback_w": np.asarray(self.feedback_w),
+        }
+        for name, series in self.soc_series.items():
+            out[f"soc/{name}"] = np.asarray(series)
+        return out

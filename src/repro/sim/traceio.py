@@ -1,0 +1,121 @@
+"""Trace and result persistence.
+
+The prototype logged everything — solar generation, per-battery sensor
+streams, scheme outcomes — and the paper's methodology depends on
+replaying matched logs ("we are able to find the most similar solar
+generation scenarios across the multi-groups of experiment logs"). This
+module provides the equivalent plumbing:
+
+- solar traces round-trip through JSON so an interesting day can be
+  replayed against any policy later;
+- power tables (Table-2 sensor logs) export to CSV for external analysis;
+- simulation results serialise to a JSON summary for experiment archives.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.power_table import PowerTable
+from repro.errors import TraceError
+from repro.sim.results import SimResult
+from repro.solar.trace import SolarTrace
+from repro.solar.weather import DayClass
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_solar_trace(trace: SolarTrace, path: PathLike) -> None:
+    """Write a solar trace to a JSON file."""
+    payload = {
+        "format": "repro/solar-trace",
+        "version": _FORMAT_VERSION,
+        "dt_s": trace.dt_s,
+        "day_classes": [d.value for d in trace.day_classes],
+        "power_w": [round(float(p), 3) for p in trace.power_w],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_solar_trace(path: PathLike) -> SolarTrace:
+    """Read a solar trace written by :func:`save_solar_trace`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceError(f"cannot read solar trace from {path}: {exc}") from exc
+    if payload.get("format") != "repro/solar-trace":
+        raise TraceError(f"{path} is not a solar-trace file")
+    try:
+        return SolarTrace(
+            dt_s=float(payload["dt_s"]),
+            power_w=np.asarray(payload["power_w"], dtype=float),
+            day_classes=tuple(DayClass(v) for v in payload["day_classes"]),
+        )
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"malformed solar trace in {path}: {exc}") from exc
+
+
+def export_power_table(table: PowerTable, path: PathLike) -> int:
+    """Write a power table's sensor logs to CSV; returns rows written."""
+    rows = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["battery", "time_s", "current_a", "voltage_v", "temperature_c", "soc"]
+        )
+        for name in table.batteries():
+            for entry in table.history(name):
+                writer.writerow(
+                    [
+                        name,
+                        f"{entry.time_s:.1f}",
+                        f"{entry.current_a:.4f}",
+                        f"{entry.voltage_v:.4f}",
+                        f"{entry.temperature_c:.3f}",
+                        f"{entry.soc:.5f}",
+                    ]
+                )
+                rows += 1
+    return rows
+
+
+def result_summary(result: SimResult) -> dict:
+    """A JSON-serialisable summary of one run."""
+    return {
+        "policy": result.policy_name,
+        "duration_s": result.duration_s,
+        "throughput": result.throughput,
+        "throughput_per_day": result.throughput_per_day(),
+        "migrations": result.migrations,
+        "dvfs_transitions": result.dvfs_transitions,
+        "downtime_s": result.total_downtime_s,
+        "unserved_wh": result.unserved_wh,
+        "feedback_wh": result.feedback_wh,
+        "worst_fade_per_day": result.worst_damage_per_day(),
+        "mean_fade_per_day": result.mean_damage_per_day(),
+        "nodes": [
+            {
+                "name": n.name,
+                "fade_added": n.fade_added,
+                "discharged_ah": n.discharged_ah,
+                "charged_ah": n.charged_ah,
+                "downtime_s": n.downtime_s,
+                "low_soc_time_s": n.low_soc_time_s,
+                "final_soc": n.final_soc,
+                "metrics": n.metrics.as_dict(),
+            }
+            for n in result.nodes
+        ],
+    }
+
+
+def save_result(result: SimResult, path: PathLike) -> None:
+    """Write a run summary to a JSON file."""
+    Path(path).write_text(json.dumps(result_summary(result), indent=2))

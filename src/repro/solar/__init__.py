@@ -1,0 +1,25 @@
+"""Solar generation substrate.
+
+Replaces the prototype's rooftop PV line with a synthetic but
+shape-faithful generator: a clear-sky diurnal bell modulated by a Markov
+cloud process, calibrated so the paper's three weather classes deliver the
+daily energy budgets reported in section VI-A (Sunny 8 kWh, Cloudy 6 kWh,
+Rainy 3 kWh), plus a sunshine-fraction day-class sampler for the Fig. 14
+and Fig. 17 geographic sweeps.
+"""
+
+from repro.solar.irradiance import ClearSkyModel
+from repro.solar.weather import DayClass, WeatherModel, CloudProcess, day_class_probabilities
+from repro.solar.panel import PVPanel
+from repro.solar.trace import SolarTrace, SolarTraceGenerator
+
+__all__ = [
+    "ClearSkyModel",
+    "DayClass",
+    "WeatherModel",
+    "CloudProcess",
+    "day_class_probabilities",
+    "PVPanel",
+    "SolarTrace",
+    "SolarTraceGenerator",
+]

@@ -1,0 +1,56 @@
+"""PV panel: rated power and energy calibration.
+
+The panel converts the (clear-sky fraction x cloud attenuation) signal to
+watts. Rather than exposing raw panel areas and efficiencies — irrelevant
+at system level — the panel is *sized by energy budget*: given a clear-sky
+model, :meth:`PVPanel.sized_for_daily_energy` returns the rated wattage
+that delivers a target kWh on a sunny day, which is how we pin the paper's
+8 kWh sunny-day budget for the six-server prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.solar.irradiance import ClearSkyModel
+from repro.units import kwh_to_wh
+
+
+@dataclass(frozen=True)
+class PVPanel:
+    """A PV array with a rated (peak) power output."""
+
+    rated_w: float
+    clear_sky: ClearSkyModel = ClearSkyModel()
+
+    def __post_init__(self) -> None:
+        if self.rated_w <= 0:
+            raise ConfigurationError("rated_w must be positive")
+
+    def power(self, t: float, attenuation: float = 1.0) -> float:
+        """Output power (W) at time ``t`` under a given cloud attenuation."""
+        if attenuation < 0:
+            raise ConfigurationError("attenuation must be >= 0")
+        return self.rated_w * self.clear_sky.fraction(t) * attenuation
+
+    def sunny_day_energy_wh(self) -> float:
+        """Energy (Wh) delivered over one fully clear day."""
+        return self.rated_w * self.clear_sky.daily_fraction_integral_h()
+
+    @classmethod
+    def sized_for_daily_energy(
+        cls, sunny_kwh: float, clear_sky: ClearSkyModel | None = None
+    ) -> "PVPanel":
+        """Size a panel so a clear day yields ``sunny_kwh`` kilowatt-hours.
+
+        The paper's prototype budget is 8 kWh on a sunny day for six
+        servers.
+        """
+        if sunny_kwh <= 0:
+            raise ConfigurationError("sunny_kwh must be positive")
+        model = clear_sky or ClearSkyModel()
+        hours = model.daily_fraction_integral_h()
+        if hours <= 0:
+            raise ConfigurationError("clear-sky model yields no daylight")
+        return cls(rated_w=kwh_to_wh(sunny_kwh) / hours, clear_sky=model)

@@ -1,0 +1,142 @@
+"""Solar power traces: precomputed per-step generation series.
+
+A :class:`SolarTrace` is the immutable product the simulation engine
+consumes: a step duration plus an array of watts. Precomputing traces (a)
+makes runs reproducible and policy-independent — every policy in a Fig. 13
+comparison sees *exactly* the same irradiance, mirroring the paper's
+careful matching of "most similar solar generation scenarios" across
+experiment days — and (b) lets experiments synthesise specific day
+sequences (one sunny day, a rainy week, a 6-month season for a sunshine
+fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceError
+from repro.rng import spawn
+from repro.solar.panel import PVPanel
+from repro.solar.weather import CloudProcess, DayClass, WeatherModel
+from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class SolarTrace:
+    """A fixed-step solar generation series.
+
+    Attributes
+    ----------
+    dt_s:
+        Step duration in seconds.
+    power_w:
+        Generation at each step (numpy array, watts).
+    day_classes:
+        The day-class label of each simulated day, for reporting.
+    """
+
+    dt_s: float
+    power_w: np.ndarray
+    day_classes: tuple
+
+    def __post_init__(self) -> None:
+        if self.dt_s <= 0:
+            raise TraceError("dt_s must be positive")
+        if len(self.power_w) == 0:
+            raise TraceError("trace must be non-empty")
+        if np.any(self.power_w < 0):
+            raise TraceError("negative solar power in trace")
+
+    @property
+    def duration_s(self) -> float:
+        """Total trace duration in seconds."""
+        return self.dt_s * len(self.power_w)
+
+    @property
+    def n_days(self) -> int:
+        """Number of whole days covered."""
+        return int(round(self.duration_s / SECONDS_PER_DAY))
+
+    def power_at(self, t: float) -> float:
+        """Generation at absolute time ``t`` (seconds from trace start)."""
+        idx = int(t // self.dt_s)
+        if not 0 <= idx < len(self.power_w):
+            raise TraceError(f"time {t} outside trace of {self.duration_s}s")
+        return float(self.power_w[idx])
+
+    def energy_wh(self) -> float:
+        """Total trace energy in watt-hours."""
+        return float(self.power_w.sum() * self.dt_s / SECONDS_PER_HOUR)
+
+    def daily_energy_wh(self) -> List[float]:
+        """Energy per day, in watt-hours."""
+        steps_per_day = int(round(SECONDS_PER_DAY / self.dt_s))
+        out = []
+        for start in range(0, len(self.power_w), steps_per_day):
+            chunk = self.power_w[start : start + steps_per_day]
+            out.append(float(chunk.sum() * self.dt_s / SECONDS_PER_HOUR))
+        return out
+
+
+class SolarTraceGenerator:
+    """Builds reproducible solar traces from a panel + weather model."""
+
+    def __init__(
+        self,
+        panel: PVPanel,
+        seed: int = 0,
+        dt_s: float = 60.0,
+    ):
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        self.panel = panel
+        self.seed = seed
+        self.dt_s = dt_s
+
+    def day(self, day_class: DayClass, day_index: int = 0) -> SolarTrace:
+        """One day of generation for a given weather class."""
+        return self.days([day_class], first_day_index=day_index)
+
+    def days(
+        self, day_classes: Sequence[DayClass], first_day_index: int = 0
+    ) -> SolarTrace:
+        """A multi-day trace following an explicit day-class sequence."""
+        if not day_classes:
+            raise ConfigurationError("need at least one day")
+        steps_per_day = int(round(SECONDS_PER_DAY / self.dt_s))
+        values = np.zeros(steps_per_day * len(day_classes))
+        for d, day_class in enumerate(day_classes):
+            rng = spawn(self.seed, f"solar/day{first_day_index + d}")
+            clouds = CloudProcess(day_class, rng)
+            base = d * steps_per_day
+            for i in range(steps_per_day):
+                t = (base + i) * self.dt_s
+                att = clouds.attenuation(self.dt_s)
+                values[base + i] = self.panel.power(t, att)
+        return SolarTrace(
+            dt_s=self.dt_s, power_w=values, day_classes=tuple(day_classes)
+        )
+
+    def season(
+        self,
+        n_days: int,
+        weather: Optional[WeatherModel] = None,
+        sunshine_fraction: Optional[float] = None,
+    ) -> SolarTrace:
+        """A season of days sampled from a location's weather mix.
+
+        Exactly one of ``weather`` or ``sunshine_fraction`` may be given;
+        with neither, a temperate 0.5 sunshine fraction is used.
+        """
+        if weather is not None and sunshine_fraction is not None:
+            raise ConfigurationError("pass weather or sunshine_fraction, not both")
+        if weather is None:
+            weather = WeatherModel(
+                sunshine_fraction if sunshine_fraction is not None else 0.5
+            )
+        rng = spawn(self.seed, "weather/day-classes")
+        classes = weather.sample_days(n_days, rng)
+        return self.days(classes)

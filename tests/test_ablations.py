@@ -1,0 +1,52 @@
+"""Smoke + shape tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments import ablation_architecture, ablation_baat
+
+
+class TestBaatAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_baat.run(quick=True)
+
+    def test_all_variants_present(self, result):
+        labels = [row[0] for row in result.rows]
+        assert "baat (full)" in labels
+        assert "e-buff (no BAAT at all)" in labels
+        assert len(labels) == 6
+
+    def test_full_baat_beats_ebuff_on_aging(self, result):
+        assert result.headline["full BAAT aging cut vs e-Buff %"] > 10.0
+
+    def test_every_variant_still_beats_ebuff(self, result):
+        """No single knockout collapses to the unmanaged baseline."""
+        by_label = {row[0]: row for row in result.rows}
+        ebuff_fade = by_label["e-buff (no BAAT at all)"][2]
+        for label, row in by_label.items():
+            if label == "e-buff (no BAAT at all)":
+                continue
+            assert row[2] < ebuff_fade
+
+
+class TestArchitectureAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_architecture.run(quick=True)
+
+    def test_matrix_complete(self, result):
+        cells = {(row[0], row[1]) for row in result.rows}
+        assert cells == {
+            ("per-server", "e-buff"),
+            ("per-server", "baat"),
+            ("rack-pool", "e-buff"),
+            ("rack-pool", "baat"),
+        }
+
+    def test_pooling_cuts_aging_spread(self, result):
+        assert result.headline["e-Buff aging-spread cut by pooling %"] > 20.0
+
+    def test_baat_helps_on_both_architectures(self, result):
+        by_cell = {(row[0], row[1]): row for row in result.rows}
+        for arch in ("per-server", "rack-pool"):
+            assert by_cell[(arch, "baat")][3] < by_cell[(arch, "e-buff")][3]

@@ -1,0 +1,63 @@
+"""Tests for the provisioning advisor."""
+
+import pytest
+
+from repro.core.advisor import ProvisioningAdvisor
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return ProvisioningAdvisor(sunshine_fraction=0.5, n_nodes=6, n_days=2)
+
+
+@pytest.fixture(scope="module")
+def recommendation(advisor):
+    return advisor.recommend(capacities_ah=(15.0, 35.0, 70.0))
+
+
+class TestEvaluate:
+    def test_design_point_fields(self, advisor):
+        point = advisor.evaluate(35.0)
+        assert point.capacity_ah == 35.0
+        assert point.lifetime_days > 0.0
+        assert point.throughput_per_day > 0.0
+        assert point.annual_cost_usd > 0.0
+        assert point.cost_per_mthroughput > 0.0
+
+    def test_bigger_battery_lower_ratio(self, advisor):
+        small = advisor.evaluate(20.0)
+        big = advisor.evaluate(70.0)
+        assert big.server_to_battery_ratio < small.server_to_battery_ratio
+
+    def test_bigger_battery_longer_life(self, advisor):
+        small = advisor.evaluate(15.0)
+        big = advisor.evaluate(70.0)
+        assert big.lifetime_days > small.lifetime_days
+
+    def test_rejects_bad_capacity(self, advisor):
+        with pytest.raises(ConfigurationError):
+            advisor.evaluate(0.0)
+
+
+class TestRecommend:
+    def test_best_is_among_points(self, recommendation):
+        assert recommendation.best in recommendation.points
+
+    def test_best_minimises_the_score(self, recommendation):
+        scores = [p.cost_per_mthroughput for p in recommendation.points]
+        assert recommendation.best.cost_per_mthroughput == min(scores)
+
+    def test_points_sorted_by_capacity(self, recommendation):
+        caps = [p.capacity_ah for p in recommendation.points]
+        assert caps == sorted(caps)
+
+    def test_rejects_empty_sweep(self, advisor):
+        with pytest.raises(ConfigurationError):
+            advisor.recommend(capacities_ah=())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProvisioningAdvisor(sunshine_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ProvisioningAdvisor(n_days=0)

@@ -1,0 +1,62 @@
+"""Unit tests for the CC-CV charger model."""
+
+import pytest
+
+from repro.battery.charger import Charger, ChargerParams
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def charger(params):
+    return Charger(params)
+
+
+class TestChargerParams:
+    def test_rejects_nonpositive_bulk_limit(self):
+        with pytest.raises(ConfigurationError):
+            ChargerParams(max_current_fraction_c=0.0)
+
+    def test_rejects_bad_taper_start(self):
+        with pytest.raises(ConfigurationError):
+            ChargerParams(taper_start_soc=1.0)
+
+
+class TestAcceptance:
+    def test_bulk_limit_is_c_over_five(self, charger, params):
+        assert charger.max_current == pytest.approx(0.2 * params.capacity_ah)
+
+    def test_full_bulk_below_taper(self, charger):
+        assert charger.acceptance_current(0.5) == pytest.approx(charger.max_current)
+
+    def test_taper_reduces_acceptance(self, charger):
+        assert charger.acceptance_current(0.95) < charger.max_current
+
+    def test_float_at_full(self, charger):
+        assert charger.acceptance_current(1.0) == pytest.approx(charger.float_current)
+
+    def test_monotone_decreasing_through_taper(self, charger):
+        values = [charger.acceptance_current(s) for s in (0.85, 0.90, 0.95, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_aged_battery_accepts_less(self, charger):
+        assert charger.acceptance_current(0.5, capacity_fade=0.2) < (
+            charger.acceptance_current(0.5, capacity_fade=0.0)
+        )
+
+
+class TestCoulombicEfficiency:
+    def test_nominal_below_gassing(self, charger, params):
+        assert charger.coulombic_efficiency(0.5) == pytest.approx(
+            params.coulombic_efficiency
+        )
+
+    def test_falls_above_gassing_soc(self, charger, params):
+        assert charger.coulombic_efficiency(0.97) < params.coulombic_efficiency
+
+    def test_floor_at_full(self, charger):
+        assert charger.coulombic_efficiency(1.0) == pytest.approx(0.60)
+
+    def test_monotone_nonincreasing(self, charger):
+        values = [charger.coulombic_efficiency(s / 20.0) for s in range(21)]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-12

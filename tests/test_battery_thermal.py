@@ -1,0 +1,65 @@
+"""Unit tests for the thermal model and Arrhenius factor."""
+
+import pytest
+
+from repro.battery.thermal import ThermalModel, arrhenius_factor
+from repro.units import hours
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self, params):
+        model = ThermalModel(params, ambient_c=30.0)
+        assert model.temperature_c == 30.0
+
+    def test_no_load_stays_at_ambient(self, params):
+        model = ThermalModel(params, ambient_c=25.0)
+        model.step(0.0, 0.015, hours(5))
+        assert model.temperature_c == pytest.approx(25.0)
+
+    def test_heavy_load_heats_the_block(self, params):
+        model = ThermalModel(params, ambient_c=25.0)
+        model.step(35.0, 0.015, hours(24))
+        assert model.temperature_c > 35.0
+
+    def test_steady_state_matches_newton_cooling(self, params):
+        model = ThermalModel(params, ambient_c=25.0)
+        current, resistance = 20.0, 0.015
+        model.step(current, resistance, hours(100))
+        expected = 25.0 + current**2 * resistance * params.thermal_resistance_k_per_w
+        assert model.temperature_c == pytest.approx(expected, rel=1e-3)
+
+    def test_cools_back_after_load_removed(self, params):
+        model = ThermalModel(params, ambient_c=25.0)
+        model.step(35.0, 0.015, hours(24))
+        hot = model.temperature_c
+        model.step(0.0, 0.015, hours(24))
+        assert model.temperature_c < hot
+        assert model.temperature_c == pytest.approx(25.0, abs=0.5)
+
+    def test_integration_is_stable_at_coarse_steps(self, params):
+        """The exact exponential update must not overshoot even when dt
+        far exceeds the thermal time constant."""
+        model = ThermalModel(params, ambient_c=25.0)
+        model.step(35.0, 0.015, hours(1000))
+        expected = 25.0 + 35.0**2 * 0.015 * params.thermal_resistance_k_per_w
+        assert model.temperature_c <= expected + 1e-6
+
+    def test_reset(self, params):
+        model = ThermalModel(params, ambient_c=25.0)
+        model.step(35.0, 0.015, hours(10))
+        model.reset(ambient_c=20.0)
+        assert model.temperature_c == 20.0
+        assert model.ambient_c == 20.0
+
+
+class TestArrhenius:
+    def test_unity_at_reference(self):
+        assert arrhenius_factor(20.0) == pytest.approx(1.0)
+
+    def test_doubles_per_ten_degrees(self):
+        """The paper's 50 %-lifetime-per-10-degC rule."""
+        assert arrhenius_factor(30.0) == pytest.approx(2.0)
+        assert arrhenius_factor(40.0) == pytest.approx(4.0)
+
+    def test_halves_below_reference(self):
+        assert arrhenius_factor(10.0) == pytest.approx(0.5)

@@ -1,0 +1,90 @@
+"""Unit tests for the terminal-voltage model."""
+
+import pytest
+
+from repro.battery.params import BatteryParams
+from repro.battery.voltage import VoltageModel
+
+
+@pytest.fixture
+def model(params):
+    return VoltageModel(params)
+
+
+class TestOCV:
+    def test_full_charge_matches_param(self, model, params):
+        assert model.ocv(1.0) == pytest.approx(params.ocv_full)
+
+    def test_empty_matches_param(self, model, params):
+        assert model.ocv(0.0) == pytest.approx(params.ocv_empty)
+
+    def test_linear_midpoint(self, model, params):
+        expected = (params.ocv_full + params.ocv_empty) / 2.0
+        assert model.ocv(0.5) == pytest.approx(expected)
+
+    def test_monotone_in_soc(self, model):
+        values = [model.ocv(s / 10.0) for s in range(11)]
+        assert values == sorted(values)
+
+    def test_fade_lowers_full_charge_voltage(self, model):
+        assert model.ocv(1.0, capacity_fade=0.14) < model.ocv(1.0, capacity_fade=0.0)
+
+    def test_fade_drop_is_superlinear(self, model):
+        """Doubling the fade should more than double the voltage drop
+        (the paper's accelerating droop)."""
+        v0 = model.ocv(1.0, 0.0)
+        drop1 = v0 - model.ocv(1.0, 0.07)
+        drop2 = v0 - model.ocv(1.0, 0.14)
+        assert drop2 > 2.0 * drop1
+
+    def test_paper_nine_percent_drop_at_fourteen_percent_fade(self, model):
+        """Fig. 3 anchor: ~9 % voltage drop co-occurs with ~14 % fade."""
+        v0 = model.ocv(1.0, 0.0)
+        v6 = model.ocv(1.0, 0.14)
+        drop = 1.0 - v6 / v0
+        assert 0.06 < drop < 0.12
+
+    def test_window_never_inverts_at_extreme_fade(self, model, params):
+        assert model.ocv(1.0, capacity_fade=0.95) >= params.ocv_empty
+
+
+class TestTerminalVoltage:
+    def test_discharge_sags_below_ocv(self, model):
+        assert model.terminal_voltage(0.8, 10.0) < model.ocv(0.8)
+
+    def test_charge_rises_above_ocv(self, model):
+        assert model.terminal_voltage(0.8, -10.0) > model.ocv(0.8)
+
+    def test_sag_proportional_to_resistance(self, model, params):
+        sag = model.ocv(0.8) - model.terminal_voltage(0.8, 10.0)
+        assert sag == pytest.approx(10.0 * params.internal_resistance_ohm)
+
+    def test_resistance_growth_deepens_sag(self, model):
+        fresh = model.terminal_voltage(0.8, 10.0, resistance_growth=0.0)
+        aged = model.terminal_voltage(0.8, 10.0, resistance_growth=0.5)
+        assert aged < fresh
+
+    def test_low_soc_knee_adds_extra_sag(self, model, params):
+        """Below the knee an additional concentration-polarisation sag
+        applies on discharge."""
+        ohmic_only = model.ocv(0.1) - 10.0 * params.internal_resistance_ohm
+        assert model.terminal_voltage(0.1, 10.0) < ohmic_only
+
+    def test_no_knee_while_charging(self, model, params):
+        expected = model.ocv(0.1) + 10.0 * params.internal_resistance_ohm
+        assert model.terminal_voltage(0.1, -10.0) == pytest.approx(expected)
+
+
+class TestMaxDischargeCurrent:
+    def test_positive_for_healthy_battery(self, model):
+        assert model.max_discharge_current(0.9) > 0.0
+
+    def test_zero_when_ocv_at_cutoff(self, params):
+        low = BatteryParams(cutoff_voltage=12.0)
+        model = VoltageModel(low)
+        assert model.max_discharge_current(0.1) == 0.0
+
+    def test_shrinks_with_age(self, model):
+        fresh = model.max_discharge_current(0.5)
+        aged = model.max_discharge_current(0.5, capacity_fade=0.15, resistance_growth=0.3)
+        assert aged < fresh

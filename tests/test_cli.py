@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _resolve_experiment, build_parser, main
+
+
+class TestResolution:
+    def test_full_name(self):
+        assert _resolve_experiment("fig14_lifetime_sunshine") == "fig14_lifetime_sunshine"
+
+    def test_prefix(self):
+        assert _resolve_experiment("fig14") == "fig14_lifetime_sunshine"
+
+    def test_bare_number(self):
+        assert _resolve_experiment("14") == "fig14_lifetime_sunshine"
+        assert _resolve_experiment("3") == "fig03_voltage"
+
+    def test_unknown(self):
+        with pytest.raises(SystemExit):
+            _resolve_experiment("fig99")
+
+    def test_ambiguous(self):
+        with pytest.raises(SystemExit):
+            _resolve_experiment("fig1")  # fig10, fig12, ... all match
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.day == "cloudy"
+        assert args.fade == 0.0
+        assert args.days == 1
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "fig10", "--full"])
+        assert args.experiment == "fig10"
+        assert args.full
+
+
+class TestCommands:
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig10]" in out
+        assert "hoppecke" in out
+
+    def test_compare_executes(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--day",
+                    "sunny",
+                    "--days",
+                    "1",
+                    "--dt",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for name in ("e-buff", "baat-s", "baat-h", "baat"):
+            assert name in out

@@ -1,0 +1,78 @@
+"""Unit tests for the BAAT controller (ranking, windows, sensing)."""
+
+import pytest
+
+from repro.core.controller import BAATController
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.node import Node
+from repro.metrics.weighted import EQUAL_WEIGHTS
+from repro.units import hours
+
+
+@pytest.fixture
+def cluster():
+    return Cluster([Node.build(f"node{i}") for i in range(3)])
+
+
+@pytest.fixture
+def controller(cluster):
+    return BAATController(cluster)
+
+
+def stress(node, hours_deep=4.0):
+    """Discharge a node's battery deep and log it in the tracker."""
+    for _ in range(int(hours_deep * 4)):
+        node.battery.discharge(120.0, 900.0)
+        node.observe_battery(900.0)
+
+
+class TestSensing:
+    def test_log_sensors_fills_power_table(self, controller, cluster):
+        controller.log_sensors()
+        assert len(controller.power_table) == len(cluster)
+
+    def test_window_metrics_start_neutral(self, controller, cluster):
+        for node in cluster:
+            m = controller.window_metrics(node)
+            assert m.nat == 0.0
+
+    def test_reset_window_clears_history(self, controller, cluster):
+        node = cluster.nodes[0]
+        stress(node)
+        assert controller.window_metrics(node).nat > 0.0
+        controller.reset_window(node)
+        assert controller.window_metrics(node).nat == 0.0
+
+
+class TestRanking:
+    def test_stressed_node_ranks_last(self, controller, cluster):
+        stress(cluster.node("node1"))
+        ranked = controller.rank_nodes(EQUAL_WEIGHTS)
+        assert ranked[-1][0].name == "node1"
+        assert ranked[-1][1] > ranked[0][1]
+
+    def test_slowest_aging_node_excludes(self, controller, cluster):
+        stress(cluster.node("node1"))
+        best = controller.slowest_aging_node(exclude=("node0",))
+        assert best is not None
+        assert best.name not in ("node0", "node1")
+
+    def test_fastest_aging_node(self, controller, cluster):
+        stress(cluster.node("node2"))
+        worst = controller.fastest_aging_node()
+        assert worst.name == "node2"
+
+    def test_ties_break_by_name(self, controller):
+        ranked = controller.rank_nodes()
+        names = [n.name for n, _ in ranked]
+        assert names == sorted(names)
+
+    def test_down_nodes_excluded_by_default(self, controller, cluster):
+        cluster.node("node0").server.brownout()
+        ranked = controller.rank_nodes()
+        assert all(n.name != "node0" for n, _ in ranked)
+
+    def test_down_nodes_included_on_request(self, controller, cluster):
+        cluster.node("node0").server.brownout()
+        ranked = controller.rank_nodes(up_only=False)
+        assert any(n.name == "node0" for n, _ in ranked)

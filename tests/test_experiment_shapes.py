@@ -1,0 +1,118 @@
+"""Shape tests for the simulation-backed experiments.
+
+Runs the cheaper quick-mode experiments end-to-end and asserts the
+directional claims of the corresponding paper figures. The expensive
+sweeps (figs 14-17) are exercised by the benchmark suite instead.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig12_profiling,
+    fig18_low_soc,
+    fig19_soc_distribution,
+    fig20_throughput,
+    fig22_planned_aging,
+)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_profiling.run(quick=True)
+
+    def test_three_weather_rows(self, result):
+        assert [row[0] for row in result.rows] == ["sunny", "cloudy", "rainy"]
+
+    def test_solar_budgets_ordered(self, result):
+        kwh = [row[1] for row in result.rows]
+        assert kwh[0] > kwh[1] > kwh[2]
+
+    def test_sunny_day_barely_cycles_battery(self, result):
+        """The paper's core Fig.-12 observation: sunny days yield far
+        less Ah throughput and no deep discharge."""
+        by_day = {row[0]: row for row in result.rows}
+        assert by_day["sunny"][2] < by_day["cloudy"][2]
+        assert by_day["sunny"][6] == 0.0  # DDT
+        assert by_day["rainy"][6] > 0.2
+
+    def test_rainy_day_has_low_charge_factor(self, result):
+        by_day = {row[0]: row for row in result.rows}
+        assert by_day["rainy"][4] < by_day["sunny"][4]
+
+    def test_battery_usage_varies_across_nodes(self, result):
+        spreads = [row[7] for row in result.rows]
+        assert max(spreads) > 0.1
+
+
+class TestFig18:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig18_low_soc.run(quick=True)
+
+    def test_baat_improves_availability(self, result):
+        assert result.headline["BAAT availability improvement %"] > 0.0
+
+    def test_baat_has_least_low_soc_exposure(self, result):
+        by_scheme = {row[0]: row for row in result.rows}
+        assert by_scheme["baat"][1] <= by_scheme["e-buff"][1]
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig19_soc_distribution.run(quick=True)
+
+    def test_rows_are_distributions(self, result):
+        for row in result.rows:
+            assert sum(row[1:]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_baat_evacuates_the_deepest_bin(self, result):
+        """BAAT keeps batteries out of the 0-15 % SoC bin e-Buff lives in."""
+        by_scheme = {row[0]: row for row in result.rows}
+        assert by_scheme["baat"][1] < by_scheme["e-buff"][1]
+
+    def test_baat_holds_more_high_soc_time(self, result):
+        by_scheme = {row[0]: row for row in result.rows}
+        baat_high = sum(by_scheme["baat"][5:])
+        ebuff_high = sum(by_scheme["e-buff"][5:])
+        assert baat_high > ebuff_high
+
+
+class TestFig20:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig20_throughput.run(quick=True)
+
+    def test_baat_wins_the_worst_case(self, result):
+        assert result.headline["BAAT best gain over e-Buff %"] > 0.0
+
+    def test_baat_s_and_h_pay_their_penalties(self, result):
+        """BAAT-s pays DVFS, BAAT-h pays migration churn (Fig. 20)."""
+        rainy = {row[1]: row for row in result.rows if row[0] == "rainy/old"}
+        assert rainy["baat-s"][3] < 0.0
+        assert rainy["baat-h"][3] < 0.0
+        assert rainy["baat-s"][6] > 0  # dvfs count
+        assert rainy["baat-h"][5] > 0  # migration count
+
+    def test_baat_cuts_downtime(self, result):
+        rainy = {row[1]: row for row in result.rows if row[0] == "rainy/old"}
+        assert rainy["baat"][4] < rainy["e-buff"][4]
+
+
+class TestFig22:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig22_planned_aging.run(quick=True)
+
+    def test_dod_goal_shrinks_with_horizon(self, result):
+        goals = [row[1] for row in result.rows]
+        assert goals == sorted(goals, reverse=True)
+
+    def test_short_horizon_spends_batteries_faster(self, result):
+        fades = [row[4] for row in result.rows]
+        assert fades[0] > fades[-1]
+
+    def test_aggressive_plan_buys_productivity(self, result):
+        gains = [row[3] for row in result.rows]
+        assert gains[0] > gains[-1]

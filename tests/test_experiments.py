@@ -1,0 +1,76 @@
+"""Smoke + shape tests for the figure experiments.
+
+These run the cheap experiments end-to-end and assert the *direction* of
+each paper claim (who wins, which way a sweep bends) without pinning
+fragile absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import fig03_voltage, fig04_capacity, fig05_efficiency
+from repro.experiments import fig10_cycle_life
+from repro.experiments.base import ExperimentResult
+from repro.errors import ConfigurationError
+
+
+class TestResultContainer:
+    def test_requires_identity(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentResult(exp_id="", title="x", headers=("a",), rows=[])
+
+    def test_to_text_contains_everything(self):
+        result = ExperimentResult(
+            exp_id="figX",
+            title="demo",
+            headers=("k", "v"),
+            rows=[("a", 1.0)],
+            headline={"metric %": 12.0},
+            notes="a note",
+        )
+        text = result.to_text()
+        assert "[figX]" in text
+        assert "metric %" in text
+        assert "a note" in text
+
+
+class TestAgingCampaignFigures:
+    @pytest.fixture(scope="class")
+    def figs(self):
+        return {
+            "fig03": fig03_voltage.run(),
+            "fig04": fig04_capacity.run(),
+            "fig05": fig05_efficiency.run(),
+        }
+
+    def test_fig03_voltage_drops_meaningfully(self, figs):
+        drop = figs["fig03"].headline["voltage drop over 6 months %"]
+        assert 5.0 < drop < 15.0  # paper: ~9 %
+
+    def test_fig03_droop_accelerates(self, figs):
+        early = figs["fig03"].headline["early droop (V/month)"]
+        late = figs["fig03"].headline["late droop (V/month)"]
+        assert late > early  # paper: 0.1 -> 0.3 V/month
+
+    def test_fig04_capacity_drop_near_paper(self, figs):
+        drop = figs["fig04"].headline["stored-energy drop over 6 months %"]
+        assert 9.0 < drop < 20.0  # paper: ~14 %
+
+    def test_fig05_efficiency_degrades(self, figs):
+        drop = figs["fig05"].headline["efficiency drop over 6 months %"]
+        assert 3.0 < drop < 14.0  # paper: ~8 %
+
+    def test_fig04_monotone_decay(self, figs):
+        energies = [row[1] for row in figs["fig04"].rows]
+        assert energies == sorted(energies, reverse=True)
+
+
+class TestFig10:
+    def test_half_life_above_fifty_percent_dod(self):
+        result = fig10_cycle_life.run()
+        cut = result.headline["cycle-life reduction, 25% -> 55% DoD %"]
+        assert cut > 40.0  # paper: ~50 %
+
+    def test_rows_cover_dod_range(self):
+        result = fig10_cycle_life.run()
+        assert result.rows[0][0] == "20%"
+        assert result.rows[-1][0] == "100%"

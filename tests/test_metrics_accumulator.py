@@ -1,0 +1,93 @@
+"""Unit tests for the metrics accumulator and SoC regions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.accumulator import (
+    DEEP_DISCHARGE_SOC,
+    MetricsAccumulator,
+    soc_region,
+)
+from repro.units import hours
+
+
+class TestSocRegion:
+    @pytest.mark.parametrize(
+        "soc,region",
+        [(1.0, "A"), (0.80, "A"), (0.79, "B"), (0.60, "B"), (0.59, "C"), (0.40, "C"), (0.39, "D"), (0.0, "D")],
+    )
+    def test_region_boundaries(self, soc, region):
+        assert soc_region(soc) == region
+
+
+class TestObserve:
+    def test_discharge_accumulates_ah(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.9, 7.0, hours(2), reference_current=1.75)
+        assert acc.discharged_ah == pytest.approx(14.0)
+        assert acc.region_discharged_ah["A"] == pytest.approx(14.0)
+
+    def test_charge_accumulates_separately(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.5, -3.5, hours(2), reference_current=1.75)
+        assert acc.charged_ah == pytest.approx(7.0)
+        assert acc.discharged_ah == 0.0
+
+    def test_rest_accumulates_only_time(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.9, 0.0, hours(5), reference_current=1.75)
+        assert acc.total_time_s == pytest.approx(hours(5))
+        assert acc.discharged_ah == 0.0
+
+    def test_deep_discharge_time(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.3, 0.0, hours(2), reference_current=1.75)
+        acc.observe(0.6, 0.0, hours(3), reference_current=1.75)
+        assert acc.deep_discharge_time_s == pytest.approx(hours(2))
+
+    def test_deep_threshold_is_forty_percent(self):
+        acc = MetricsAccumulator()
+        acc.observe(DEEP_DISCHARGE_SOC, 0.0, 60.0, reference_current=1.75)
+        assert acc.deep_discharge_time_s == 0.0
+        acc.observe(DEEP_DISCHARGE_SOC - 0.01, 0.0, 60.0, reference_current=1.75)
+        assert acc.deep_discharge_time_s == 60.0
+
+    def test_peak_current_tracked(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.8, 3.0, 60.0, reference_current=1.75)
+        acc.observe(0.8, 9.0, 60.0, reference_current=1.75)
+        acc.observe(0.8, 5.0, 60.0, reference_current=1.75)
+        assert acc.peak_discharge_current_a == 9.0
+
+    def test_high_rate_low_soc_exposure(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.3, 5.0, 60.0, reference_current=1.75)  # dangerous
+        acc.observe(0.3, 1.0, 60.0, reference_current=1.75)  # low rate
+        acc.observe(0.8, 5.0, 60.0, reference_current=1.75)  # high SoC
+        assert acc.high_rate_low_soc_time_s == 60.0
+
+    def test_rejects_negative_dt(self):
+        acc = MetricsAccumulator()
+        with pytest.raises(ConfigurationError):
+            acc.observe(0.5, 1.0, -60.0, reference_current=1.75)
+
+
+class TestWindows:
+    def test_subtraction_gives_window(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.9, 7.0, hours(1), reference_current=1.75)
+        snap = acc.copy()
+        acc.observe(0.5, 7.0, hours(1), reference_current=1.75)
+        window = acc - snap
+        assert window.discharged_ah == pytest.approx(7.0)
+        assert window.region_discharged_ah["C"] == pytest.approx(7.0)
+        assert window.region_discharged_ah["A"] == pytest.approx(0.0)
+        assert window.total_time_s == pytest.approx(hours(1))
+
+    def test_copy_is_independent(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.9, 7.0, hours(1), reference_current=1.75)
+        snap = acc.copy()
+        acc.observe(0.9, 7.0, hours(1), reference_current=1.75)
+        assert snap.discharged_ah == pytest.approx(7.0)
+        assert acc.discharged_ah == pytest.approx(14.0)

@@ -1,0 +1,129 @@
+"""Unit tests for the five aging metrics (Eqs. 1-5)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.accumulator import MetricsAccumulator
+from repro.metrics.snapshot import AgingMetrics
+from repro.units import hours
+
+LIFETIME_AH = 380.0 * 35.0
+REF_I = 1.75
+
+
+def metrics_from(*samples) -> AgingMetrics:
+    """samples: (soc, current, dt_hours) tuples."""
+    acc = MetricsAccumulator()
+    for soc, current, dt_h in samples:
+        acc.observe(soc, current, hours(dt_h), reference_current=REF_I)
+    return AgingMetrics.from_accumulator(acc, LIFETIME_AH, REF_I)
+
+
+class TestNAT:
+    def test_eq1_definition(self):
+        m = metrics_from((0.9, 7.0, 2.0))
+        assert m.nat == pytest.approx(14.0 / LIFETIME_AH)
+
+    def test_charging_does_not_count(self):
+        m = metrics_from((0.9, -7.0, 2.0))
+        assert m.nat == 0.0
+
+    def test_whole_life_is_about_one(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.7, REF_I, LIFETIME_AH / REF_I * 3600.0, reference_current=REF_I)
+        m = AgingMetrics.from_accumulator(acc, LIFETIME_AH, REF_I)
+        assert m.nat == pytest.approx(1.0)
+
+
+class TestCF:
+    def test_eq2_definition(self):
+        m = metrics_from((0.9, 7.0, 2.0), (0.8, -7.0, 2.2))
+        assert m.cf == pytest.approx(15.4 / 14.0)
+
+    def test_healthy_band(self):
+        """Normal cycling with charge losses lands CF in 1-1.3."""
+        m = metrics_from((0.8, 5.0, 4.0), (0.6, -5.0, 4.4))
+        assert 1.0 <= m.cf <= 1.3
+
+    def test_infinite_when_only_charging(self):
+        m = metrics_from((0.5, -5.0, 2.0))
+        assert math.isinf(m.cf)
+
+    def test_neutral_when_idle(self):
+        m = metrics_from((0.5, 0.0, 2.0))
+        assert m.cf == 1.0
+
+    def test_cf_deficit_zero_when_healthy(self):
+        m = metrics_from((0.8, 5.0, 2.0), (0.6, -5.0, 2.5))
+        assert m.cf_deficit == 0.0
+
+    def test_cf_deficit_positive_when_undercharged(self):
+        m = metrics_from((0.8, 5.0, 4.0), (0.6, -5.0, 1.0))
+        assert m.cf_deficit == pytest.approx(1.0 - 0.25)
+
+
+class TestPC:
+    def test_all_region_a_gives_quarter(self):
+        m = metrics_from((0.9, 5.0, 2.0))
+        assert m.pc == pytest.approx(0.25)
+
+    def test_all_region_d_gives_one(self):
+        m = metrics_from((0.2, 5.0, 2.0))
+        assert m.pc == pytest.approx(1.0)
+
+    def test_eq4_weighting(self):
+        # Half the Ah in A (weight 1), half in C (weight 3) -> (0.5+1.5)/4.
+        m = metrics_from((0.9, 5.0, 2.0), (0.5, 5.0, 2.0))
+        assert m.pc == pytest.approx(0.5)
+
+    def test_region_shares_sum_to_one(self):
+        m = metrics_from((0.9, 5.0, 1.0), (0.7, 5.0, 1.0), (0.3, 5.0, 1.0))
+        assert sum(m.region_shares.values()) == pytest.approx(1.0)
+
+    def test_zero_without_discharge(self):
+        m = metrics_from((0.9, 0.0, 2.0))
+        assert m.pc == 0.0
+
+
+class TestDDT:
+    def test_eq5_definition(self):
+        m = metrics_from((0.3, 0.0, 1.0), (0.8, 0.0, 3.0))
+        assert m.ddt == pytest.approx(0.25)
+
+    def test_time_based_not_throughput_based(self):
+        """DDT counts time below 40 % regardless of current flow."""
+        m = metrics_from((0.3, 0.0, 2.0), (0.3, 5.0, 2.0), (0.9, 9.0, 4.0))
+        assert m.ddt == pytest.approx(0.5)
+
+
+class TestDR:
+    def test_mean_rate_normalised(self):
+        m = metrics_from((0.9, 3.5, 2.0))
+        assert m.dr_mean == pytest.approx(2.0)
+
+    def test_peak_rate(self):
+        m = metrics_from((0.9, 3.5, 1.0), (0.9, 7.0, 1.0))
+        assert m.dr_peak == pytest.approx(4.0)
+
+    def test_low_soc_exposure_fraction(self):
+        m = metrics_from((0.3, 5.0, 1.0), (0.9, 5.0, 3.0))
+        assert m.dr_low_soc_exposure == pytest.approx(0.25)
+
+
+class TestValidation:
+    def test_rejects_bad_lifetime(self):
+        with pytest.raises(ConfigurationError):
+            AgingMetrics.from_accumulator(MetricsAccumulator(), 0.0, REF_I)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ConfigurationError):
+            AgingMetrics.from_accumulator(MetricsAccumulator(), LIFETIME_AH, 0.0)
+
+    def test_as_dict_roundtrip(self):
+        m = metrics_from((0.9, 5.0, 2.0))
+        d = m.as_dict()
+        assert d["nat"] == m.nat
+        assert d["pc"] == m.pc
+        assert "window_s" in d

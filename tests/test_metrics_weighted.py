@@ -1,0 +1,104 @@
+"""Unit tests for the Eq.-6 weighted aging score and Table-3 weights."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.accumulator import MetricsAccumulator
+from repro.metrics.snapshot import AgingMetrics
+from repro.metrics.weighted import (
+    EQUAL_WEIGHTS,
+    WEIGHT_HIGH,
+    WEIGHT_LOW,
+    WEIGHT_MEDIUM,
+    DemandClass,
+    MetricWeights,
+    classify_demand,
+    node_aging_score,
+    weighted_aging_score,
+    weights_for_demand,
+)
+from repro.units import hours
+
+
+class TestClassification:
+    def test_large_more(self):
+        d = classify_demand(120.0, 150.0, 2000.0, energy_threshold_wh=1000.0)
+        assert d is DemandClass.LARGE_MORE
+
+    def test_large_less(self):
+        d = classify_demand(120.0, 150.0, 500.0, energy_threshold_wh=1000.0)
+        assert d is DemandClass.LARGE_LESS
+
+    def test_small_more(self):
+        d = classify_demand(50.0, 150.0, 2000.0, energy_threshold_wh=1000.0)
+        assert d is DemandClass.SMALL_MORE
+
+    def test_small_less(self):
+        d = classify_demand(50.0, 150.0, 500.0, energy_threshold_wh=1000.0)
+        assert d is DemandClass.SMALL_LESS
+
+    def test_fifty_percent_line(self):
+        """Power is 'Large' strictly above 50 % of peak (paper IV-B)."""
+        at_line = classify_demand(75.0, 150.0, 0.0, energy_threshold_wh=1.0)
+        assert at_line is DemandClass.SMALL_LESS
+
+    def test_rejects_bad_peak(self):
+        with pytest.raises(ConfigurationError):
+            classify_demand(50.0, 0.0, 100.0, energy_threshold_wh=1.0)
+
+
+class TestTable3:
+    def test_large_more_is_all_high(self):
+        w = weights_for_demand(DemandClass.LARGE_MORE)
+        assert (w.cf, w.pc, w.nat) == (WEIGHT_HIGH, WEIGHT_HIGH, WEIGHT_HIGH)
+
+    def test_large_less_nat_is_medium(self):
+        w = weights_for_demand(DemandClass.LARGE_LESS)
+        assert w.nat == WEIGHT_MEDIUM
+        assert w.cf == WEIGHT_HIGH and w.pc == WEIGHT_HIGH
+
+    def test_small_more_row(self):
+        w = weights_for_demand(DemandClass.SMALL_MORE)
+        assert (w.cf, w.pc, w.nat) == (WEIGHT_LOW, WEIGHT_MEDIUM, WEIGHT_HIGH)
+
+    def test_small_less_is_all_low(self):
+        w = weights_for_demand(DemandClass.SMALL_LESS)
+        assert (w.cf, w.pc, w.nat) == (WEIGHT_LOW, WEIGHT_LOW, WEIGHT_LOW)
+
+    def test_weight_levels_match_paper(self):
+        assert (WEIGHT_HIGH, WEIGHT_MEDIUM, WEIGHT_LOW) == (0.5, 0.3, 0.2)
+
+
+class TestScore:
+    def test_eq6_linear_combination(self):
+        w = MetricWeights(cf=0.5, pc=0.3, nat=0.2)
+        assert weighted_aging_score(1.0, 1.0, 1.0, w) == pytest.approx(1.0)
+        assert weighted_aging_score(0.2, 0.4, 0.6, w) == pytest.approx(
+            0.5 * 0.2 + 0.3 * 0.4 + 0.2 * 0.6
+        )
+
+    def test_rejects_out_of_range_weights(self):
+        with pytest.raises(ConfigurationError):
+            MetricWeights(cf=1.5, pc=0.3, nat=0.2)
+
+    def _metrics(self, soc, discharged_h, charged_h):
+        acc = MetricsAccumulator()
+        acc.observe(soc, 7.0, hours(discharged_h), reference_current=1.75)
+        if charged_h:
+            acc.observe(soc, -7.0, hours(charged_h), reference_current=1.75)
+        return AgingMetrics.from_accumulator(acc, 380.0 * 35.0, 1.75)
+
+    def test_higher_score_means_faster_aging(self):
+        """A node cycling deep and undercharged must outscore a healthy
+        one — the paper's 'large value indicates the fast aging pace'."""
+        healthy = self._metrics(soc=0.9, discharged_h=1.0, charged_h=1.1)
+        stressed = self._metrics(soc=0.2, discharged_h=4.0, charged_h=0.5)
+        assert node_aging_score(stressed, EQUAL_WEIGHTS) > node_aging_score(
+            healthy, EQUAL_WEIGHTS
+        )
+
+    def test_idle_node_scores_near_zero(self):
+        acc = MetricsAccumulator()
+        acc.observe(0.9, 0.0, hours(5), reference_current=1.75)
+        idle = AgingMetrics.from_accumulator(acc, 380.0 * 35.0, 1.75)
+        assert node_aging_score(idle, EQUAL_WEIGHTS) == pytest.approx(0.0)

@@ -1,0 +1,75 @@
+"""Unit tests for planned aging (Eq. 7)."""
+
+import pytest
+
+from repro.core.planner import DOD_MAX, DOD_MIN, PlannedAgingManager, dod_goal
+from repro.errors import ConfigurationError
+from repro.units import days
+
+
+class TestEq7:
+    def test_basic_definition(self):
+        # 13 300 Ah life, nothing used, 1000 cycles planned on a 35 Ah
+        # block: (13300 - 0) / 1000 / 35 = 0.38.
+        assert dod_goal(13_300.0, 0.0, 1000.0, 35.0) == pytest.approx(0.38)
+
+    def test_used_throughput_reduces_goal(self):
+        fresh = dod_goal(13_300.0, 0.0, 1000.0, 35.0)
+        used = dod_goal(13_300.0, 5000.0, 1000.0, 35.0)
+        assert used < fresh
+
+    def test_fewer_planned_cycles_deepens_goal(self):
+        few = dod_goal(13_300.0, 0.0, 500.0, 35.0)
+        many = dod_goal(13_300.0, 0.0, 2000.0, 35.0)
+        assert few > many
+
+    def test_clamped_to_practical_band(self):
+        assert dod_goal(13_300.0, 0.0, 10.0, 35.0) == DOD_MAX
+        assert dod_goal(13_300.0, 13_200.0, 5000.0, 35.0) == DOD_MIN
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dod_goal(0.0, 0.0, 100.0, 35.0)
+        with pytest.raises(ConfigurationError):
+            dod_goal(100.0, -1.0, 100.0, 35.0)
+        with pytest.raises(ConfigurationError):
+            dod_goal(100.0, 0.0, 0.0, 35.0)
+        with pytest.raises(ConfigurationError):
+            dod_goal(100.0, 0.0, 100.0, 0.0)
+
+
+class TestManager:
+    def test_remaining_cycles_shrink_with_time(self):
+        manager = PlannedAgingManager(service_life_days=365.0)
+        assert manager.remaining_cycles(0.0) == pytest.approx(365.0)
+        assert manager.remaining_cycles(days(100)) == pytest.approx(265.0)
+
+    def test_remaining_cycles_floor_at_one(self):
+        manager = PlannedAgingManager(service_life_days=10.0)
+        assert manager.remaining_cycles(days(100)) == 1.0
+
+    def test_short_horizon_allows_deep_dod(self, battery):
+        eager = PlannedAgingManager(service_life_days=200.0)
+        patient = PlannedAgingManager(service_life_days=3000.0)
+        assert eager.current_dod_goal(battery) > patient.current_dod_goal(battery)
+
+    def test_low_soc_threshold_is_complement(self, battery):
+        manager = PlannedAgingManager(service_life_days=730.0)
+        goal = manager.current_dod_goal(battery)
+        assert manager.low_soc_threshold(battery) == pytest.approx(1.0 - goal)
+
+    def test_goal_deepens_as_discard_date_approaches(self, battery):
+        """Shifting unused life into the used portion: with the clock
+        running and little throughput consumed, the per-cycle allowance
+        grows."""
+        manager = PlannedAgingManager(service_life_days=1500.0)
+        goal_early = manager.current_dod_goal(battery)
+        battery.rest(days(1000))
+        goal_late = manager.current_dod_goal(battery)
+        assert goal_late > goal_early
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlannedAgingManager(service_life_days=0.0)
+        with pytest.raises(ConfigurationError):
+            PlannedAgingManager(service_life_days=100.0, cycles_per_day=0.0)

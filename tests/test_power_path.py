@@ -1,0 +1,143 @@
+"""Unit tests for per-step power routing."""
+
+import math
+
+import pytest
+
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.node import Node
+from repro.datacenter.power_path import RESTART_SOC, PowerPath
+from repro.datacenter.vm import VM
+from repro.datacenter.workloads import WorkloadProfile
+from repro.battery.unit import BatteryUnit
+from repro.battery.params import BatteryParams
+from repro.datacenter.server import Server, ServerPowerState
+
+
+def steady_vm(name, util):
+    profile = WorkloadProfile(
+        name=f"wl-{name}", mean_util=util, burst_util=0.0, period_s=3600.0,
+        burstiness=0.0,
+    )
+    return VM(name=name, workload=profile, host=None)
+
+
+def make_path(n=2, initial_soc=1.0, utility=0.0):
+    nodes = []
+    for i in range(n):
+        battery = BatteryUnit(BatteryParams(), name=f"b{i}", initial_soc=initial_soc)
+        nodes.append(Node.build(f"node{i}", battery=battery))
+    cluster = Cluster(nodes)
+    return cluster, PowerPath(cluster, utility_budget_w=utility)
+
+
+class TestRouting:
+    def test_abundant_solar_feeds_loads_and_charges(self):
+        cluster, path = make_path(initial_soc=0.5)
+        for node in cluster:
+            cluster.place(steady_vm(f"vm-{node.name}", 0.5), node.name)
+        flows = path.step(t=0.0, dt=60.0, solar_w=2000.0)
+        assert flows.solar_to_load_w == pytest.approx(flows.demand_w)
+        assert flows.solar_to_battery_w > 0.0
+        assert flows.battery_to_load_w == 0.0
+        assert flows.unserved_w == 0.0
+
+    def test_deficit_bridged_by_batteries(self):
+        cluster, path = make_path()
+        for node in cluster:
+            cluster.place(steady_vm(f"vm-{node.name}", 0.5), node.name)
+        flows = path.step(t=0.0, dt=60.0, solar_w=50.0)
+        assert flows.battery_to_load_w > 0.0
+        assert flows.unserved_w == pytest.approx(0.0, abs=1.0)
+        assert flows.browned_out_nodes == 0
+
+    def test_grid_feedback_when_batteries_full(self):
+        cluster, path = make_path(initial_soc=1.0)
+        flows = path.step(t=0.0, dt=60.0, solar_w=2000.0)
+        assert flows.grid_feedback_w > 0.0
+        assert sum(n.feedback_wh for n in cluster) > 0.0
+
+    def test_empty_batteries_cause_brownout(self, params):
+        cluster, path = make_path(initial_soc=params.cutoff_soc)
+        for node in cluster:
+            cluster.place(steady_vm(f"vm-{node.name}", 0.5), node.name)
+        flows = path.step(t=0.0, dt=60.0, solar_w=0.0)
+        assert flows.browned_out_nodes == len(cluster)
+        for node in cluster:
+            assert node.server.state is ServerPowerState.DOWN
+
+    def test_discharge_cap_respected(self):
+        cluster, path = make_path()
+        for node in cluster:
+            cluster.place(steady_vm(f"vm-{node.name}", 0.5), node.name)
+            node.discharge_cap_w = 10.0
+        flows = path.step(t=0.0, dt=60.0, solar_w=0.0)
+        assert flows.battery_to_load_w <= 10.0 * len(cluster) + 1e-6
+        assert flows.browned_out_nodes == len(cluster)
+
+    def test_utility_budget_bridges_deficit(self):
+        cluster, path = make_path(utility=5000.0)
+        for node in cluster:
+            cluster.place(steady_vm(f"vm-{node.name}", 0.5), node.name)
+            node.discharge_cap_w = 0.0
+        flows = path.step(t=0.0, dt=60.0, solar_w=0.0)
+        assert flows.utility_to_load_w == pytest.approx(flows.demand_w)
+        assert flows.browned_out_nodes == 0
+
+
+class TestRestartHysteresis:
+    def test_cut_off_battery_blocks_restart(self, params):
+        cluster, path = make_path(initial_soc=params.cutoff_soc + 0.02)
+        node = cluster.nodes[0]
+        node.server.brownout()
+        # Battery below RESTART_SOC, little solar: must stay down.
+        path.step(t=0.0, dt=60.0, solar_w=10.0)
+        assert node.server.state is ServerPowerState.DOWN
+
+    def test_recharged_battery_allows_restart(self):
+        cluster, path = make_path(initial_soc=RESTART_SOC + 0.3)
+        node = cluster.nodes[0]
+        node.server.brownout()
+        path.step(t=0.0, dt=60.0, solar_w=10.0)
+        assert node.server.state is ServerPowerState.BOOTING
+
+    def test_strong_solar_alone_allows_restart(self, params):
+        cluster, path = make_path(initial_soc=params.cutoff_soc)
+        node = cluster.nodes[0]
+        node.server.brownout()
+        path.step(t=0.0, dt=60.0, solar_w=5000.0)
+        assert node.server.state is ServerPowerState.BOOTING
+
+    def test_admin_off_server_never_restarts(self):
+        cluster, path = make_path(initial_soc=1.0)
+        node = cluster.nodes[0]
+        node.server.brownout()
+        node.server.admin_off = True
+        path.step(t=0.0, dt=60.0, solar_w=5000.0)
+        assert node.server.state is ServerPowerState.DOWN
+
+
+class TestAccounting:
+    def test_every_battery_advances_every_step(self):
+        cluster, path = make_path()
+        path.step(t=0.0, dt=60.0, solar_w=0.0)
+        path.step(t=60.0, dt=60.0, solar_w=500.0)
+        for node in cluster:
+            assert node.battery.time_s == pytest.approx(120.0)
+
+    def test_sensor_observation_happens(self):
+        cluster, path = make_path()
+        path.step(t=0.0, dt=60.0, solar_w=500.0)
+        for node in cluster:
+            assert node.tracker.lifetime().window_s == pytest.approx(60.0)
+
+    def test_flow_balance(self):
+        """Solar used never exceeds available; load never over-served."""
+        cluster, path = make_path(initial_soc=0.7)
+        for node in cluster:
+            cluster.place(steady_vm(f"vm-{node.name}", 0.6), node.name)
+        flows = path.step(t=0.0, dt=60.0, solar_w=300.0)
+        assert flows.solar_to_load_w + flows.solar_to_battery_w + flows.grid_feedback_w \
+            == pytest.approx(flows.solar_available_w, rel=1e-6)
+        served = flows.solar_to_load_w + flows.battery_to_load_w + flows.utility_to_load_w
+        assert served <= flows.demand_w + 1e-6

@@ -1,0 +1,54 @@
+"""Unit tests for the power table (Table-2 logs)."""
+
+import pytest
+
+from repro.core.power_table import PowerTable
+from repro.errors import ConfigurationError
+
+
+class TestPowerTable:
+    def test_record_and_history(self, battery):
+        table = PowerTable()
+        battery.discharge(100.0, 60.0)
+        table.record(battery.sample())
+        battery.discharge(100.0, 60.0)
+        table.record(battery.sample())
+        history = table.history(battery.name)
+        assert len(history) == 2
+        assert history[0].time_s < history[1].time_s
+
+    def test_entries_carry_table2_variables(self, battery):
+        table = PowerTable()
+        battery.discharge(100.0, 60.0)
+        table.record(battery.sample())
+        entry = table.latest(battery.name)
+        assert entry.current_a > 0.0
+        assert entry.voltage_v > 0.0
+        assert entry.temperature_c > 0.0
+        assert entry.time_s > 0.0
+
+    def test_ring_bounded(self, battery):
+        table = PowerTable(max_entries_per_battery=5)
+        for _ in range(10):
+            battery.rest(60.0)
+            table.record(battery.sample())
+        assert len(table.history(battery.name)) == 5
+
+    def test_latest_without_history_raises(self):
+        with pytest.raises(ConfigurationError):
+            PowerTable().latest("ghost")
+
+    def test_batteries_listing(self, battery):
+        table = PowerTable()
+        table.record(battery.sample())
+        assert table.batteries() == [battery.name]
+
+    def test_len_counts_all_entries(self, battery):
+        table = PowerTable()
+        table.record(battery.sample())
+        table.record(battery.sample())
+        assert len(table) == 2
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            PowerTable(max_entries_per_battery=0)

@@ -1,0 +1,84 @@
+"""Property-based tests for the aging metrics (hypothesis)."""
+
+import math
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.battery.params import BatteryParams
+from repro.metrics.accumulator import MetricsAccumulator
+from repro.metrics.snapshot import AgingMetrics
+from repro.metrics.weighted import EQUAL_WEIGHTS, node_aging_score
+
+PARAMS = BatteryParams()
+
+samples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),     # soc
+        st.floats(min_value=-20.0, max_value=20.0),  # current
+        st.floats(min_value=1.0, max_value=7200.0),  # dt
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def metrics_of(observations) -> AgingMetrics:
+    acc = MetricsAccumulator()
+    for soc, current, dt in observations:
+        acc.observe(soc, current, dt, PARAMS.reference_current)
+    return AgingMetrics.from_accumulator(
+        acc, PARAMS.lifetime_ah_throughput, PARAMS.reference_current
+    )
+
+
+class TestMetricRanges:
+    @settings(max_examples=80, deadline=None)
+    @given(observations=samples)
+    def test_all_metrics_in_valid_ranges(self, observations):
+        m = metrics_of(observations)
+        assert m.nat >= 0.0
+        assert m.cf >= 0.0 or math.isinf(m.cf)
+        assert m.pc == 0.0 or 0.25 <= m.pc <= 1.0
+        assert 0.0 <= m.ddt <= 1.0
+        assert m.dr_mean >= 0.0
+        assert m.dr_peak >= m.dr_mean - 1e-9 or m.dr_peak == 0.0
+        assert 0.0 <= m.dr_low_soc_exposure <= 1.0
+        assert 0.0 <= m.cf_deficit <= 1.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(observations=samples)
+    def test_region_shares_partition_discharge(self, observations):
+        m = metrics_of(observations)
+        total = sum(m.region_shares.values())
+        # Shares either partition the discharged charge (sum 1) or are
+        # entirely absent (sum 0) — never anything in between.
+        assert total == pytest.approx(1.0) or total == 0.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(observations=samples)
+    def test_score_nonnegative_and_finite(self, observations):
+        m = metrics_of(observations)
+        score = node_aging_score(m, EQUAL_WEIGHTS)
+        assert 0.0 <= score <= 1.0 + 1e-9
+
+
+class TestMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(observations=samples, extra_hours=st.floats(min_value=0.1, max_value=10.0))
+    def test_nat_monotone_under_more_discharge(self, observations, extra_hours):
+        base = metrics_of(observations)
+        extended = metrics_of(
+            list(observations) + [(0.5, 5.0, extra_hours * 3600.0)]
+        )
+        assert extended.nat >= base.nat
+
+    @settings(max_examples=60, deadline=None)
+    @given(observations=samples, extra_hours=st.floats(min_value=0.1, max_value=10.0))
+    def test_ddt_rises_with_deep_residence(self, observations, extra_hours):
+        base = metrics_of(observations)
+        extended = metrics_of(list(observations) + [(0.1, 0.0, extra_hours * 3600.0)])
+        assert extended.ddt >= base.ddt - 1e-9
+

@@ -1,0 +1,73 @@
+"""Property-based tests for solar generation and workloads (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solar.irradiance import ClearSkyModel
+from repro.solar.panel import PVPanel
+from repro.solar.weather import DayClass, day_class_probabilities
+from repro.datacenter.workloads import PAPER_WORKLOADS
+from repro.rng import spawn
+
+
+class TestClearSkyProperties:
+    @given(t=st.floats(min_value=0.0, max_value=86400.0 * 7))
+    def test_fraction_bounded(self, t):
+        model = ClearSkyModel()
+        assert 0.0 <= model.fraction(t) <= 1.0
+
+    @given(
+        sunrise=st.floats(min_value=4.0, max_value=9.0),
+        span=st.floats(min_value=4.0, max_value=12.0),
+    )
+    def test_integral_below_daylight_hours(self, sunrise, span):
+        model = ClearSkyModel(sunrise_h=sunrise, sunset_h=sunrise + span)
+        assert 0.0 < model.daily_fraction_integral_h() < span
+
+
+class TestWeatherProperties:
+    @given(f=st.floats(min_value=0.0, max_value=1.0))
+    def test_probabilities_valid_distribution(self, f):
+        probs = day_class_probabilities(f)
+        assert abs(sum(probs.values()) - 1.0) < 1e-9
+        assert all(p >= -1e-12 for p in probs.values())
+
+    @given(
+        f1=st.floats(min_value=0.0, max_value=1.0),
+        f2=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_sunny_probability_monotone(self, f1, f2):
+        lo, hi = min(f1, f2), max(f1, f2)
+        assert (
+            day_class_probabilities(lo)[DayClass.SUNNY]
+            <= day_class_probabilities(hi)[DayClass.SUNNY] + 1e-12
+        )
+
+
+class TestPanelProperties:
+    @given(kwh=st.floats(min_value=0.5, max_value=100.0))
+    def test_sizing_roundtrip(self, kwh):
+        panel = PVPanel.sized_for_daily_energy(kwh)
+        assert panel.sunny_day_energy_wh() / 1000.0 == pytest.approx(kwh, rel=1e-3)
+
+
+class TestWorkloadProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(PAPER_WORKLOADS)),
+        t=st.floats(min_value=0.0, max_value=86400.0 * 3),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_utilization_always_valid(self, name, t, seed):
+        profile = PAPER_WORKLOADS[name]
+        rng = spawn(seed, "prop")
+        assert 0.0 <= profile.utilization_at(t, rng) <= 1.0
+
+    @given(name=st.sampled_from(sorted(PAPER_WORKLOADS)))
+    def test_energy_consistency(self, name):
+        profile = PAPER_WORKLOADS[name]
+        assert profile.energy_per_day_wh(60.0, 150.0) == pytest.approx(
+            24.0 * profile.mean_power_w(60.0, 150.0)
+        )
+

@@ -1,0 +1,77 @@
+"""Unit tests for the trace recorder."""
+
+import pytest
+
+from repro.datacenter.power_path import PowerFlows
+from repro.errors import ConfigurationError
+from repro.sim.recorder import (
+    LOW_SOC_THRESHOLD,
+    SOC_BIN_LABELS,
+    TraceRecorder,
+    soc_bin,
+)
+
+
+def flows(demand=100.0, solar=50.0):
+    return PowerFlows(
+        demand_w=demand,
+        solar_available_w=solar,
+        solar_to_load_w=min(demand, solar),
+        solar_to_battery_w=0.0,
+        battery_to_load_w=max(0.0, demand - solar),
+        utility_to_load_w=0.0,
+        grid_feedback_w=0.0,
+        unserved_w=0.0,
+        browned_out_nodes=0,
+    )
+
+
+class TestSocBins:
+    def test_seven_paper_bins(self):
+        assert SOC_BIN_LABELS == tuple(f"SoC{i}" for i in range(1, 8))
+
+    @pytest.mark.parametrize(
+        "soc,idx",
+        [(0.0, 0), (0.14, 0), (0.15, 1), (0.44, 2), (0.45, 3), (0.89, 5), (0.90, 6), (1.0, 6)],
+    )
+    def test_bin_edges(self, soc, idx):
+        assert soc_bin(soc) == idx
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            soc_bin(1.5)
+
+
+class TestRecording:
+    def test_distributions_always_recorded(self):
+        rec = TraceRecorder(["a", "b"], record_series=False)
+        rec.record(0.0, 60.0, flows(), {"a": 0.95, "b": 0.2})
+        rec.record(60.0, 60.0, flows(), {"a": 0.95, "b": 0.2})
+        dist = rec.soc_distribution("a")
+        assert dist["SoC7"] == pytest.approx(1.0)
+        assert rec.soc_distribution("b")["SoC2"] == pytest.approx(1.0)
+
+    def test_low_soc_accounting(self):
+        rec = TraceRecorder(["a"])
+        rec.record(0.0, 60.0, flows(), {"a": LOW_SOC_THRESHOLD - 0.01})
+        rec.record(60.0, 60.0, flows(), {"a": LOW_SOC_THRESHOLD + 0.01})
+        assert rec.low_soc_time_s["a"] == 60.0
+        assert rec.low_soc_fraction("a") == pytest.approx(0.5)
+        assert rec.worst_low_soc_time_s() == 60.0
+
+    def test_series_capture(self):
+        rec = TraceRecorder(["a"], record_series=True)
+        rec.record(0.0, 60.0, flows(demand=123.0), {"a": 0.8})
+        arrays = rec.as_arrays()
+        assert arrays["demand_w"][0] == 123.0
+        assert arrays["soc/a"][0] == 0.8
+
+    def test_series_skipped_when_disabled(self):
+        rec = TraceRecorder(["a"], record_series=False)
+        rec.record(0.0, 60.0, flows(), {"a": 0.8})
+        assert len(rec.times_s) == 0
+
+    def test_empty_distribution(self):
+        rec = TraceRecorder(["a"])
+        assert rec.soc_distribution("a")["SoC1"] == 0.0
+        assert rec.low_soc_fraction("a") == 0.0

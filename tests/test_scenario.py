@@ -1,0 +1,91 @@
+"""Unit tests for scenario assembly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.scenario import Scenario
+
+
+class TestValidation:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(n_nodes=0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(operating_window_h=(18.0, 8.0))
+
+    def test_rejects_control_faster_than_dt(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(dt_s=600.0, control_interval_s=300.0)
+
+    def test_rejects_bad_initial_fade(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(initial_fade=0.99)
+
+
+class TestClusterAssembly:
+    def test_default_is_six_nodes(self):
+        cluster = Scenario().build_cluster()
+        assert len(cluster) == 6
+
+    def test_nodes_have_all_parts(self, tiny_scenario):
+        cluster = tiny_scenario.build_cluster()
+        for node in cluster:
+            assert node.server is not None
+            assert node.battery is not None
+            assert node.tracker is not None
+
+    def test_manufacturing_variation_spreads_capacity(self):
+        cluster = Scenario(manufacturing_variation=True).build_cluster()
+        factors = {n.battery.capacity_factor for n in cluster}
+        assert len(factors) > 1
+
+    def test_variation_disabled_gives_identical_units(self, tiny_scenario):
+        cluster = tiny_scenario.build_cluster()
+        assert {n.battery.capacity_factor for n in cluster} == {1.0}
+
+    def test_variation_is_seed_deterministic(self):
+        a = Scenario(seed=42).build_cluster()
+        b = Scenario(seed=42).build_cluster()
+        for na, nb in zip(a.nodes, b.nodes):
+            assert na.battery.capacity_factor == nb.battery.capacity_factor
+
+    def test_pre_aging(self):
+        cluster = Scenario(initial_fade=0.12).build_cluster()
+        for node in cluster:
+            assert node.battery.capacity_fade == pytest.approx(0.12)
+            assert node.battery.aging.state.discharged_ah > 0.0
+
+    def test_initial_soc(self):
+        cluster = Scenario(initial_soc=0.5, manufacturing_variation=False).build_cluster()
+        assert all(n.battery.soc == 0.5 for n in cluster)
+
+
+class TestVMsAndSolar:
+    def test_default_vms_are_six_apps(self):
+        vms = Scenario().build_vms()
+        assert len(vms) == 6
+        assert all(vm.host is None for vm in vms)
+
+    def test_panel_hits_budget(self, tiny_scenario):
+        panel = tiny_scenario.panel()
+        assert panel.sunny_day_energy_wh() == pytest.approx(8000.0, rel=1e-3)
+
+    def test_trace_generator_dt_matches(self, tiny_scenario):
+        gen = tiny_scenario.trace_generator()
+        assert gen.dt_s == tiny_scenario.dt_s
+
+
+class TestRatioSweep:
+    def test_with_ratio_scales_server(self):
+        scenario = Scenario().with_server_to_battery_ratio(10.0)
+        assert scenario.server.peak_w == pytest.approx(350.0)
+        assert scenario.server_to_battery_ratio == pytest.approx(10.0)
+
+    def test_default_ratio(self):
+        assert Scenario().server_to_battery_ratio == pytest.approx(150.0 / 35.0)
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ConfigurationError):
+            Scenario().with_server_to_battery_ratio(0.0)

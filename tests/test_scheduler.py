@@ -1,0 +1,104 @@
+"""Unit tests for the aging-hiding scheduler (Fig. 8)."""
+
+import pytest
+
+from repro.core.controller import BAATController
+from repro.core.scheduler import AgingHidingScheduler
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.node import Node
+from repro.datacenter.vm import VM
+from repro.datacenter.workloads import PAPER_WORKLOADS, WorkloadProfile
+from repro.errors import SchedulingError
+from repro.metrics.weighted import MetricWeights
+
+
+@pytest.fixture
+def cluster():
+    return Cluster([Node.build(f"node{i}") for i in range(3)])
+
+
+@pytest.fixture
+def scheduler(cluster):
+    return AgingHidingScheduler(cluster, BAATController(cluster))
+
+
+def stress(node, hours_deep=4.0):
+    for _ in range(int(hours_deep * 4)):
+        node.battery.discharge(120.0, 900.0)
+        node.observe_battery(900.0)
+
+
+def light_vm(name):
+    profile = WorkloadProfile(
+        name=f"wl-{name}", mean_util=0.3, burst_util=0.0, period_s=3600.0,
+        burstiness=0.0,
+    )
+    return VM(name=name, workload=profile)
+
+
+class TestProfiling:
+    def test_weights_derived_from_table3(self, scheduler, cluster):
+        vm = VM(name="heavy", workload=PAPER_WORKLOADS["software_testing"])
+        weights = scheduler.profile_weights(vm, cluster.nodes[0])
+        assert isinstance(weights, MetricWeights)
+        # A large-power, more-energy workload weights every metric High.
+        assert weights.nat == weights.cf == weights.pc == 0.5
+
+    def test_light_workload_cf_weight_low(self, scheduler, cluster):
+        """Small-power workloads weight CF Low in both Table-3 rows."""
+        vm = light_vm("light")
+        weights = scheduler.profile_weights(vm, cluster.nodes[0])
+        assert weights.cf == pytest.approx(0.2)
+
+
+class TestPlacement:
+    def test_avoids_stressed_node(self, scheduler, cluster):
+        stress(cluster.node("node0"))
+        chosen = scheduler.place(light_vm("a"))
+        assert chosen != "node0"
+
+    def test_naive_placement_ignores_aging(self, scheduler, cluster):
+        stress(cluster.node("node0"))
+        # Naive balances by mean utilisation; all empty -> first by name.
+        chosen = scheduler.place_naive(light_vm("a"))
+        assert chosen == "node0"
+
+    def test_respects_headroom(self, scheduler, cluster):
+        heavy = WorkloadProfile(
+            name="fat", mean_util=0.9, burst_util=0.0, period_s=3600.0, burstiness=0.0
+        )
+        for i in range(3):
+            scheduler.place(VM(name=f"fat{i}", workload=heavy))
+        with pytest.raises(SchedulingError):
+            scheduler.place(VM(name="fat3", workload=heavy))
+
+    def test_placements_counted(self, scheduler):
+        scheduler.place(light_vm("a"))
+        scheduler.place_naive(light_vm("b"))
+        assert scheduler.placements == 2
+
+
+class TestMigrationTarget:
+    def test_prefers_healthiest(self, scheduler, cluster):
+        stress(cluster.node("node1"))
+        stress(cluster.node("node2"), hours_deep=8.0)
+        vm = light_vm("a")
+        cluster.place(vm, "node2")
+        target = scheduler.migration_target(vm, "node2")
+        assert target == "node0"
+
+    def test_excludes_source(self, scheduler, cluster):
+        vm = light_vm("a")
+        cluster.place(vm, "node0")
+        target = scheduler.migration_target(vm, "node0")
+        assert target != "node0"
+
+    def test_none_when_nothing_fits(self, scheduler, cluster):
+        heavy = WorkloadProfile(
+            name="fat", mean_util=0.95, burst_util=0.0, period_s=3600.0, burstiness=0.0
+        )
+        vms = [VM(name=f"fat{i}", workload=heavy) for i in range(3)]
+        for vm, node in zip(vms, cluster.nodes):
+            cluster.place(vm, node.name)
+        target = scheduler.migration_target(vms[0], "node0")
+        assert target is None

@@ -1,0 +1,146 @@
+"""Unit tests for the server power model and DVFS."""
+
+import pytest
+
+from repro.datacenter.server import (
+    BOOT_SECONDS,
+    Server,
+    ServerParams,
+    ServerPowerState,
+)
+from repro.datacenter.vm import VM
+from repro.datacenter.workloads import PAPER_WORKLOADS
+from repro.errors import ConfigurationError
+
+
+class TestParams:
+    def test_rejects_peak_below_idle(self):
+        with pytest.raises(ConfigurationError):
+            ServerParams(idle_w=150.0, peak_w=100.0)
+
+    def test_rejects_unsorted_ladder(self):
+        with pytest.raises(ConfigurationError):
+            ServerParams(freq_levels=(0.4, 1.0))
+
+    def test_rejects_out_of_range_levels(self):
+        with pytest.raises(ConfigurationError):
+            ServerParams(freq_levels=(1.2, 0.8))
+
+    def test_scaled(self):
+        params = ServerParams().scaled(2.0)
+        assert params.idle_w == 120.0
+        assert params.peak_w == 300.0
+
+
+class TestPower:
+    def test_idle_power(self, server):
+        assert server.power(0.0) == pytest.approx(server.params.idle_w)
+
+    def test_peak_power(self, server):
+        assert server.power(1.0) == pytest.approx(server.params.peak_w)
+
+    def test_linear_in_utilization(self, server):
+        half = server.power(0.5)
+        expected = server.params.idle_w + 0.5 * (
+            server.params.peak_w - server.params.idle_w
+        )
+        assert half == pytest.approx(expected)
+
+    def test_dvfs_cuts_dynamic_power_superlinearly(self, server):
+        full = server.power(1.0) - server.power(0.0)
+        server.set_freq_index(3)  # 0.4x frequency
+        throttled = server.power(1.0) - server.power(0.0)
+        assert throttled < 0.4 * full
+
+    def test_dvfs_trims_idle_mildly(self, server):
+        idle_full = server.power(0.0)
+        server.set_freq_index(3)
+        idle_low = server.power(0.0)
+        assert idle_low < idle_full
+        assert idle_low > 0.5 * idle_full
+
+    def test_down_server_draws_nothing(self, server):
+        server.brownout()
+        assert server.power(1.0) == 0.0
+
+    def test_admin_off_draws_nothing(self, server):
+        server.admin_off = True
+        assert server.power(1.0) == 0.0
+
+    def test_policy_off_draws_nothing(self, server):
+        server.policy_off = True
+        assert server.power(1.0) == 0.0
+
+    def test_stalled_vm_power_adder(self, server):
+        """An in-flight (stalled) VM adds copy-traffic power on its host."""
+        vm = VM(name="m", workload=PAPER_WORKLOADS["web_serving"])
+        server.attach(vm)
+        base = server.power(0.0)
+        vm.checkpoint()  # any stall engages the adder
+        assert server.power(0.0) > base
+
+
+class TestDVFS:
+    def test_throttle_down_walks_the_ladder(self, server):
+        levels = []
+        while server.throttle_down():
+            levels.append(server.frequency)
+        assert levels == [0.8, 0.6, 0.4]
+
+    def test_throttle_down_at_floor_returns_false(self, server):
+        server.set_freq_index(3)
+        assert not server.throttle_down()
+
+    def test_throttle_up_restores(self, server):
+        server.set_freq_index(2)
+        server.throttle_up()
+        assert server.frequency == 0.8
+
+    def test_transitions_counted(self, server):
+        server.throttle_down()
+        server.throttle_up()
+        assert server.dvfs_transitions == 2
+
+    def test_set_same_index_not_counted(self, server):
+        server.set_freq_index(0)
+        assert server.dvfs_transitions == 0
+
+    def test_bad_index_rejected(self, server):
+        with pytest.raises(ConfigurationError):
+            server.set_freq_index(9)
+
+
+class TestAvailability:
+    def test_brownout_checkpoints_vms(self, server, vm):
+        server.attach(vm)
+        server.brownout()
+        assert server.state is ServerPowerState.DOWN
+        assert vm.is_stalled
+
+    def test_power_on_boots(self, server):
+        server.brownout()
+        server.power_on()
+        assert server.state is ServerPowerState.BOOTING
+        server.advance_state(BOOT_SECONDS)
+        assert server.state is ServerPowerState.UP
+
+    def test_downtime_accounted(self, server):
+        server.brownout()
+        server.advance_state(600.0)
+        assert server.downtime_s == 600.0
+
+    def test_admin_off_is_not_downtime(self, server):
+        server.brownout()
+        server.admin_off = True
+        server.advance_state(600.0)
+        assert server.downtime_s == 0.0
+
+    def test_booting_draws_idle_and_does_no_work(self, server):
+        server.brownout()
+        server.power_on()
+        assert server.power(1.0) == pytest.approx(server.params.idle_w)
+        assert server.speed_factor() == 0.0
+
+    def test_speed_factor_follows_frequency(self, server):
+        server.set_freq_index(1)
+        assert server.speed_factor() == 0.8

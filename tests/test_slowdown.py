@@ -1,0 +1,186 @@
+"""Unit tests for the slowdown monitor (Fig. 9)."""
+
+import math
+
+import pytest
+
+from repro.battery.params import BatteryParams
+from repro.battery.unit import BatteryUnit
+from repro.core.controller import BAATController
+from repro.core.scheduler import AgingHidingScheduler
+from repro.core.slowdown import (
+    SlowdownConfig,
+    SlowdownMonitor,
+    reserve_seconds,
+    two_minute_safe_power,
+)
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.node import Node
+from repro.datacenter.vm import VM
+from repro.datacenter.workloads import WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.units import hours
+
+
+def make_monitor(n=3, prefer_migration=True, allow_parking=True, socs=None):
+    nodes = []
+    for i in range(n):
+        soc = socs[i] if socs else 1.0
+        battery = BatteryUnit(BatteryParams(), name=f"b{i}", initial_soc=soc)
+        nodes.append(Node.build(f"node{i}", battery=battery))
+    cluster = Cluster(nodes)
+    controller = BAATController(cluster)
+    scheduler = AgingHidingScheduler(cluster, controller)
+    config = SlowdownConfig(
+        prefer_migration=prefer_migration, allow_parking=allow_parking
+    )
+    return cluster, SlowdownMonitor(cluster, controller, scheduler, config)
+
+
+def steady_vm(name, util=0.5):
+    profile = WorkloadProfile(
+        name=f"wl-{name}", mean_util=util, burst_util=0.0, period_s=3600.0,
+        burstiness=0.0,
+    )
+    return VM(name=name, workload=profile)
+
+
+class TestReserveHelpers:
+    def test_reserve_infinite_at_zero_draw(self, battery):
+        assert reserve_seconds(battery, 0.0) == math.inf
+
+    def test_reserve_shrinks_with_power(self, battery):
+        assert reserve_seconds(battery, 400.0) < reserve_seconds(battery, 100.0)
+
+    def test_reserve_zero_at_cutoff(self, params):
+        empty = BatteryUnit(params, initial_soc=params.cutoff_soc)
+        assert reserve_seconds(empty, 100.0) == 0.0
+
+    def test_two_minute_power_scales_with_charge(self, params):
+        full = BatteryUnit(params, initial_soc=1.0)
+        half = BatteryUnit(params, initial_soc=0.5)
+        assert two_minute_safe_power(full) > two_minute_safe_power(half)
+
+    def test_two_minute_power_definition(self, battery):
+        """Draining at exactly the safe power empties in ~the window."""
+        p = two_minute_safe_power(battery, 120.0)
+        assert reserve_seconds(battery, p) == pytest.approx(120.0, rel=0.2)
+
+    def test_rejects_bad_threshold(self, battery):
+        with pytest.raises(ConfigurationError):
+            two_minute_safe_power(battery, 0.0)
+
+
+class TestConfig:
+    def test_recovery_above_threshold_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SlowdownConfig(low_soc_threshold=0.5, recovery_soc=0.4)
+
+    def test_protected_below_threshold_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SlowdownConfig(low_soc_threshold=0.3, protected_soc=0.35)
+
+
+class TestTrigger:
+    def test_no_trigger_above_threshold(self):
+        cluster, monitor = make_monitor(socs=[0.8, 0.8, 0.8])
+        assert not monitor.check(cluster.nodes[0], current_draw_w=100.0)
+
+    def test_triggers_on_thin_reserve(self):
+        cluster, monitor = make_monitor(socs=[0.15, 0.8, 0.8])
+        node = cluster.nodes[0]
+        # A draw large enough to empty the remaining charge in < 2 min.
+        assert monitor.check(node, current_draw_w=5000.0)
+
+    def test_triggers_on_unsustainable_ration(self):
+        cluster, monitor = make_monitor(socs=[0.35, 0.8, 0.8])
+        node = cluster.nodes[0]
+        monitor._last_t = hours(17.0)  # late in the window
+        assert monitor.check(node, current_draw_w=150.0)
+
+    def test_planned_override_moves_threshold(self):
+        cluster, monitor = make_monitor(socs=[0.35, 0.8, 0.8])
+        node = cluster.nodes[0]
+        monitor.low_soc_override[node.name] = 0.2
+        assert not monitor.check(node, current_draw_w=150.0)
+
+
+class TestActions:
+    def test_migration_preferred_to_healthier_node(self):
+        cluster, monitor = make_monitor(socs=[0.3, 0.9, 0.9])
+        vm = steady_vm("a")
+        cluster.place(vm, "node0")
+        action = monitor.act(cluster.nodes[0], t=hours(12))
+        assert action == "migrated"
+        assert vm.host in ("node1", "node2")
+        assert monitor.migrations == 1
+
+    def test_migration_skipped_without_soc_margin(self):
+        """Equal-stress nodes: migration is pointless churn; throttle."""
+        cluster, monitor = make_monitor(socs=[0.3, 0.32, 0.31])
+        vm = steady_vm("a")
+        cluster.place(vm, "node0")
+        action = monitor.act(cluster.nodes[0], t=hours(12))
+        assert action == "throttled"
+        assert vm.host == "node0"
+
+    def test_dvfs_fallback_without_scheduler(self):
+        cluster, monitor = make_monitor(prefer_migration=False, socs=[0.3, 0.9, 0.9])
+        cluster.place(steady_vm("a"), "node0")
+        action = monitor.act(cluster.nodes[0], t=hours(12))
+        assert action == "throttled"
+        assert cluster.nodes[0].server.frequency < 1.0
+
+    def test_park_when_ladder_exhausted_and_idle_unsustainable(self):
+        cluster, monitor = make_monitor(socs=[0.30, 0.31, 0.30])
+        node = cluster.nodes[0]
+        node.server.set_freq_index(len(node.server.params.freq_levels) - 1)
+        action = monitor.act(node, t=hours(17.5))
+        assert action == "parked"
+        assert node.server.policy_off
+        assert node.discharge_cap_w == 0.0
+
+    def test_no_parking_for_dvfs_only_monitor(self):
+        cluster, monitor = make_monitor(allow_parking=False, socs=[0.3, 0.3, 0.3])
+        node = cluster.nodes[0]
+        node.server.set_freq_index(len(node.server.params.freq_levels) - 1)
+        action = monitor.act(node, t=hours(17.5))
+        assert action == "capped"
+        assert not node.server.policy_off
+        # The idle-floor keeps the server eating.
+        assert node.discharge_cap_w >= node.server.params.idle_w
+
+    def test_recover_releases_throttle_gradually(self):
+        cluster, monitor = make_monitor(socs=[0.8, 0.8, 0.8])
+        node = cluster.nodes[0]
+        node.server.set_freq_index(2)
+        node.discharge_cap_w = 50.0
+        monitor.recover(node)
+        assert node.server.freq_index == 1
+        assert node.discharge_cap_w == math.inf
+        monitor.recover(node)
+        assert node.server.freq_index == 0
+
+    def test_recover_does_not_wake_parked(self):
+        cluster, monitor = make_monitor(socs=[0.9, 0.9, 0.9])
+        node = cluster.nodes[0]
+        node.server.policy_off = True
+        monitor.recover(node)
+        assert node.server.policy_off
+
+
+class TestControlLoop:
+    def test_control_acts_only_on_triggered_nodes(self):
+        cluster, monitor = make_monitor(socs=[0.2, 0.9, 0.9])
+        for node in cluster:
+            cluster.place(steady_vm(f"vm-{node.name}"), node.name)
+        actions = monitor.control(hours(12), {n.name: 120.0 for n in cluster})
+        assert len(actions) == 1
+        assert actions[0].startswith("node0:")
+
+    def test_control_recovers_healthy_nodes(self):
+        cluster, monitor = make_monitor(socs=[0.9, 0.9, 0.9])
+        node = cluster.nodes[0]
+        node.server.set_freq_index(1)
+        monitor.control(hours(12), {n.name: 0.0 for n in cluster})
+        assert node.server.freq_index == 0

@@ -1,0 +1,64 @@
+"""Unit tests for the clear-sky irradiance model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solar.irradiance import ClearSkyModel
+from repro.units import hours
+
+
+@pytest.fixture
+def model():
+    return ClearSkyModel()
+
+
+class TestShape:
+    def test_zero_at_night(self, model):
+        assert model.fraction(hours(2)) == 0.0
+        assert model.fraction(hours(23)) == 0.0
+
+    def test_zero_at_sunrise_and_sunset(self, model):
+        assert model.fraction(hours(model.sunrise_h)) == 0.0
+        assert model.fraction(hours(model.sunset_h)) == 0.0
+
+    def test_peak_at_solar_noon(self, model):
+        noon = hours((model.sunrise_h + model.sunset_h) / 2.0)
+        assert model.fraction(noon) == pytest.approx(1.0)
+
+    def test_symmetry(self, model):
+        mid = (model.sunrise_h + model.sunset_h) / 2.0
+        a = model.fraction(hours(mid - 2.0))
+        b = model.fraction(hours(mid + 2.0))
+        assert a == pytest.approx(b)
+
+    def test_periodic_across_days(self, model):
+        assert model.fraction(hours(12)) == pytest.approx(
+            model.fraction(hours(12 + 24))
+        )
+
+    def test_bounded(self, model):
+        for h10 in range(0, 240):
+            assert 0.0 <= model.fraction(hours(h10 / 10.0)) <= 1.0
+
+
+class TestIntegral:
+    def test_daily_integral_reasonable(self, model):
+        """A 12.5-hour daylight window integrates to roughly 7-8
+        full-output hours."""
+        integral = model.daily_fraction_integral_h()
+        assert 5.0 < integral < 10.0
+
+    def test_integral_grows_with_daylight(self):
+        short = ClearSkyModel(sunrise_h=8.0, sunset_h=16.0)
+        long = ClearSkyModel(sunrise_h=5.0, sunset_h=21.0)
+        assert long.daily_fraction_integral_h() > short.daily_fraction_integral_h()
+
+
+class TestValidation:
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ConfigurationError):
+            ClearSkyModel(sunrise_h=19.0, sunset_h=6.0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ConfigurationError):
+            ClearSkyModel(exponent=0.0)

@@ -1,0 +1,40 @@
+"""Shape tests for the executable Table 1."""
+
+import pytest
+
+from repro.experiments import table01_usage_scenarios
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table01_usage_scenarios.run(quick=True)
+
+
+def test_three_usage_objectives(result):
+    assert [row[0] for row in result.rows] == [
+        "power backup",
+        "demand response",
+        "power smoothing",
+    ]
+
+
+def test_aging_speed_ordering(result):
+    """Table 1: Light < Medium < Severe."""
+    speeds = [row[1] for row in result.rows]
+    assert speeds[0] < speeds[1] < speeds[2]
+
+
+def test_aging_variation_ordering(result):
+    """Table 1: Small < Medium < Large."""
+    spreads = [row[3] for row in result.rows]
+    assert spreads[0] < spreads[1] < spreads[2]
+
+
+def test_backup_service_life_in_lead_acid_band(result):
+    """A float-service battery should live 3-10 years (section IV-D)."""
+    backup_years = result.rows[0][2]
+    assert 3.0 < backup_years < 10.0
+
+
+def test_smoothing_is_much_harsher_than_backup(result):
+    assert result.headline["smoothing vs backup aging-speed ratio"] > 3.0

@@ -1,0 +1,83 @@
+"""Tests for intra-day metric curves (Fig. 12(e)-(k) plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import metric_curves
+from repro.core.policies.factory import make_policy
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulation
+from repro.solar.weather import DayClass
+
+
+@pytest.fixture(scope="module")
+def recorded_sim():
+    from repro.datacenter.workloads import PAPER_WORKLOADS
+    from repro.sim.scenario import Scenario
+
+    workloads = tuple(
+        PAPER_WORKLOADS[name]
+        for name in ("web_serving", "data_analytics", "word_count")
+    )
+    scenario = Scenario(
+        n_nodes=3, dt_s=300.0, manufacturing_variation=False, workloads=workloads
+    )
+    trace = scenario.trace_generator().day(DayClass.CLOUDY)
+    sim = Simulation(scenario, make_policy("e-buff"), trace, record_series=True)
+    sim.run()
+    return sim
+
+
+class TestMetricCurves:
+    def test_curves_cover_the_day(self, recorded_sim):
+        curves = metric_curves(recorded_sim.recorder, "node0")
+        assert curves.times_s[0] == 0.0
+        assert curves.times_s[-1] == pytest.approx(86400.0 - 300.0)
+
+    def test_nat_is_monotone_nondecreasing(self, recorded_sim):
+        curves = metric_curves(recorded_sim.recorder, "node0")
+        assert np.all(np.diff(curves.nat) >= -1e-15)
+
+    def test_ddt_bounded(self, recorded_sim):
+        curves = metric_curves(recorded_sim.recorder, "node0")
+        assert np.all((curves.ddt >= 0.0) & (curves.ddt <= 1.0))
+
+    def test_final_point_matches_tracker(self, recorded_sim):
+        """The offline recomputation must agree with the online tracker."""
+        curves = metric_curves(recorded_sim.recorder, "node0")
+        node = recorded_sim.cluster.node("node0")
+        online = node.tracker.lifetime()
+        assert curves.nat[-1] == pytest.approx(online.nat, rel=0.05)
+        assert curves.ddt[-1] == pytest.approx(online.ddt, abs=0.02)
+
+    def test_at_hour_lookup(self, recorded_sim):
+        curves = metric_curves(recorded_sim.recorder, "node0")
+        nat_morning = curves.at_hour(9.0)[0]
+        nat_evening = curves.at_hour(18.0)[0]
+        assert nat_evening >= nat_morning
+
+    def test_threshold_crossing(self, recorded_sim):
+        curves = metric_curves(recorded_sim.recorder, "node0")
+        final_nat = curves.nat[-1]
+        crossing = curves.threshold_crossing_h(final_nat / 2.0)
+        assert crossing is not None
+        assert 0.0 < crossing < 24.0
+        assert curves.threshold_crossing_h(final_nat * 10.0) is None
+
+    def test_stride_thins_output(self, recorded_sim):
+        dense = metric_curves(recorded_sim.recorder, "node0", stride=1)
+        thin = metric_curves(recorded_sim.recorder, "node0", stride=10)
+        assert len(thin.times_s) < len(dense.times_s)
+        assert thin.nat[-1] == pytest.approx(dense.nat[-1])
+
+    def test_unknown_node(self, recorded_sim):
+        with pytest.raises(ConfigurationError):
+            metric_curves(recorded_sim.recorder, "ghost")
+
+    def test_requires_series(self, tiny_scenario, one_cloudy_day):
+        sim = Simulation(
+            tiny_scenario, make_policy("e-buff"), one_cloudy_day, record_series=False
+        )
+        sim.run()
+        with pytest.raises(ConfigurationError):
+            metric_curves(sim.recorder, "node0")

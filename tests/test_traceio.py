@@ -1,0 +1,96 @@
+"""Unit tests for trace and result persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.controller import BAATController
+from repro.core.policies.factory import make_policy
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.node import Node
+from repro.errors import TraceError
+from repro.sim.engine import run_policy_on_trace
+from repro.sim.traceio import (
+    export_power_table,
+    load_solar_trace,
+    result_summary,
+    save_result,
+    save_solar_trace,
+)
+from repro.solar.weather import DayClass
+
+
+class TestSolarTraceRoundTrip:
+    def test_round_trip_preserves_trace(self, tiny_scenario, tmp_path):
+        trace = tiny_scenario.trace_generator().day(DayClass.CLOUDY)
+        path = tmp_path / "day.json"
+        save_solar_trace(trace, path)
+        loaded = load_solar_trace(path)
+        assert loaded.dt_s == trace.dt_s
+        assert loaded.day_classes == trace.day_classes
+        assert np.allclose(loaded.power_w, trace.power_w, atol=0.01)
+
+    def test_replay_gives_identical_results(self, tiny_scenario, tmp_path):
+        """A saved day replayed through a policy reproduces the original
+        run — the paper's matched-log methodology."""
+        trace = tiny_scenario.trace_generator().day(DayClass.CLOUDY)
+        path = tmp_path / "day.json"
+        save_solar_trace(trace, path)
+        replay = load_solar_trace(path)
+        a = run_policy_on_trace(tiny_scenario, make_policy("e-buff"), trace)
+        b = run_policy_on_trace(tiny_scenario, make_policy("e-buff"), replay)
+        assert b.throughput == pytest.approx(a.throughput, rel=1e-4)
+
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(TraceError):
+            load_solar_trace(path)
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_solar_trace(tmp_path / "absent.json")
+
+    def test_rejects_malformed_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro/solar-trace", "version": 1}))
+        with pytest.raises(TraceError):
+            load_solar_trace(path)
+
+
+class TestPowerTableExport:
+    def test_csv_rows_match_entries(self, tmp_path):
+        cluster = Cluster([Node.build(f"n{i}") for i in range(2)])
+        controller = BAATController(cluster)
+        for _ in range(3):
+            for node in cluster:
+                node.battery.discharge(50.0, 60.0)
+            controller.log_sensors()
+        path = tmp_path / "table.csv"
+        rows = export_power_table(controller.power_table, path)
+        assert rows == 6
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("battery,")
+        assert len(lines) == 7
+
+
+class TestResultSummary:
+    def test_summary_fields(self, tiny_scenario, one_cloudy_day, tmp_path):
+        result = run_policy_on_trace(
+            tiny_scenario, make_policy("baat"), one_cloudy_day
+        )
+        summary = result_summary(result)
+        assert summary["policy"] == "baat"
+        assert summary["throughput"] > 0
+        assert len(summary["nodes"]) == 3
+        assert "nat" in summary["nodes"][0]["metrics"]
+
+    def test_save_result_is_valid_json(self, tiny_scenario, one_cloudy_day, tmp_path):
+        result = run_policy_on_trace(
+            tiny_scenario, make_policy("e-buff"), one_cloudy_day
+        )
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["policy"] == "e-buff"

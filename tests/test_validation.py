@@ -1,0 +1,65 @@
+"""Cross-validation tests: mechanistic aging model vs empirical curves.
+
+The two lifetime representations were calibrated from different anchors
+(the paper's six-month prototype measurement vs manufacturer datasheet
+points), so their agreement is a genuine consistency check. Absolute
+cycle counts are expected to differ — the prototype's batteries degraded
+much faster than laboratory datasheet conditions — but the *shape*
+(relative cycle life across DoD) must match.
+"""
+
+import pytest
+
+from repro.analysis.validation import (
+    simulated_cycle_life,
+    validate_against_curves,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def points():
+    return validate_against_curves(dods=(0.3, 0.5, 0.8))
+
+
+class TestSimulatedCycleLife:
+    def test_monotone_decreasing_in_dod(self, points):
+        cycles = [p.simulated_cycles for p in points]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_magnitudes_are_lead_acid_plausible(self, points):
+        """Even a harshly calibrated VRLA lasts 100+ cycles at 80 % DoD
+        and under 1000 at 30 %."""
+        by_dod = {p.dod: p.simulated_cycles for p in points}
+        assert 50 < by_dod[0.8] < 500
+        assert 200 < by_dod[0.3] < 1500
+
+    def test_rejects_extreme_dod(self):
+        with pytest.raises(ConfigurationError):
+            simulated_cycle_life(0.01)
+
+
+class TestShapeAgreement:
+    def test_relative_slope_matches_empirical(self, points):
+        """The 0.3 -> 0.8 DoD cycle-life ratio must match the empirical
+        family's within a factor of two (measured agreement ~10 %)."""
+        sim_slope = points[0].simulated_cycles / points[-1].simulated_cycles
+        emp_slope = points[0].empirical_cycles / points[-1].empirical_cycles
+        assert sim_slope / emp_slope == pytest.approx(1.0, abs=0.5)
+
+    def test_level_offset_is_consistent_across_dod(self, points):
+        """The sim/empirical ratio should be roughly constant — a level
+        calibration difference, not a shape disagreement."""
+        ratios = [p.ratio for p in points]
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_manufacturer_selection(self):
+        upg = validate_against_curves(dods=(0.5,), manufacturer="upg")[0]
+        trojan = validate_against_curves(dods=(0.5,), manufacturer="trojan")[0]
+        # Same simulation, different empirical baselines.
+        assert upg.simulated_cycles == trojan.simulated_cycles
+        assert upg.empirical_cycles < trojan.empirical_cycles
+
+    def test_unknown_manufacturer(self):
+        with pytest.raises(ConfigurationError):
+            validate_against_curves(dods=(0.5,), manufacturer="acme")

@@ -1,0 +1,96 @@
+"""Unit tests for the VM model."""
+
+import pytest
+
+from repro.datacenter.vm import MIGRATION_SECONDS, RESUME_SECONDS, VM
+from repro.datacenter.workloads import PAPER_WORKLOADS
+from repro.errors import MigrationError
+from repro.rng import spawn
+
+
+@pytest.fixture
+def placed_vm(vm):
+    vm.host = "node0"
+    return vm
+
+
+class TestMigration:
+    def test_moves_host_and_stalls(self, placed_vm):
+        placed_vm.begin_migration("node1")
+        assert placed_vm.host == "node1"
+        assert placed_vm.is_stalled
+        assert placed_vm.migrations == 1
+
+    def test_pinned_vm_cannot_migrate(self, placed_vm):
+        placed_vm.pinned = True
+        with pytest.raises(MigrationError):
+            placed_vm.begin_migration("node1")
+
+    def test_unplaced_vm_cannot_migrate(self, vm):
+        with pytest.raises(MigrationError):
+            vm.begin_migration("node1")
+
+    def test_same_host_rejected(self, placed_vm):
+        with pytest.raises(MigrationError):
+            placed_vm.begin_migration("node0")
+
+    def test_stall_consumed_by_advance(self, placed_vm):
+        placed_vm.begin_migration("node1")
+        placed_vm.advance(MIGRATION_SECONDS, 1.0, t=0.0)
+        assert not placed_vm.is_stalled
+
+    def test_no_progress_during_stall(self, placed_vm):
+        placed_vm.begin_migration("node1")
+        gained = placed_vm.advance(MIGRATION_SECONDS / 2.0, 1.0, t=0.0)
+        assert gained == 0.0
+        assert placed_vm.progress == 0.0
+
+    def test_partial_stall_step_progresses_remainder(self, placed_vm):
+        placed_vm.begin_migration("node1")
+        gained = placed_vm.advance(MIGRATION_SECONDS + 600.0, 1.0, t=0.0)
+        assert gained > 0.0
+
+
+class TestCheckpoint:
+    def test_checkpoint_stalls_resume(self, placed_vm):
+        placed_vm.checkpoint()
+        assert placed_vm.is_stalled
+        placed_vm.advance(RESUME_SECONDS, 1.0, t=0.0)
+        assert not placed_vm.is_stalled
+
+    def test_checkpoint_does_not_shorten_migration_stall(self, placed_vm):
+        placed_vm.begin_migration("node1")
+        placed_vm.checkpoint()
+        # The longer of the two stalls applies: after consuming less than
+        # the migration stall the VM is still parked.
+        placed_vm.advance(MIGRATION_SECONDS / 2.0, 1.0, t=0.0)
+        assert placed_vm.is_stalled
+        placed_vm.advance(max(MIGRATION_SECONDS, RESUME_SECONDS), 1.0, t=0.0)
+        assert not placed_vm.is_stalled
+
+
+class TestProgress:
+    def test_progress_scales_with_speed(self, placed_vm):
+        fast = VM(name="fast", workload=placed_vm.workload, host="n")
+        slow = VM(name="slow", workload=placed_vm.workload, host="n")
+        fast.advance(3600.0, 1.0, t=7200.0)
+        slow.advance(3600.0, 0.4, t=7200.0)
+        assert fast.progress == pytest.approx(slow.progress / 0.4)
+
+    def test_zero_dt_no_progress(self, placed_vm):
+        assert placed_vm.advance(0.0, 1.0, t=0.0) == 0.0
+
+    def test_utilization_cached_per_timestamp(self, placed_vm):
+        rng = spawn(9, "vm")
+        u1 = placed_vm.utilization(1234.0, rng)
+        u2 = placed_vm.utilization(1234.0, rng)
+        assert u1 == u2
+
+    def test_cache_invalidated_by_new_timestamp(self, placed_vm):
+        rng = spawn(9, "vm")
+        values = {placed_vm.utilization(float(t), rng) for t in range(0, 36000, 600)}
+        assert len(values) > 3  # actually varies over time
+
+    def test_stalled_vm_demands_no_cpu(self, placed_vm):
+        placed_vm.begin_migration("node1")
+        assert placed_vm.utilization(0.0) == 0.0
