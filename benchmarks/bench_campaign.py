@@ -1,0 +1,64 @@
+"""Bench: the campaign runner itself — fan-out overhead and cache serving.
+
+Two measurements on a fixed 4-scheme x 1-day sweep:
+
+1. ``test_campaign_fresh`` — every run simulated (cache disabled by the
+   suite conftest), using ``--campaign-workers`` processes;
+2. ``test_campaign_cached`` — the same sweep served entirely from a
+   warmed on-disk cache, which should be orders of magnitude faster.
+"""
+
+
+from repro.campaign import ResultCache, RunSpec, run_campaign
+from repro.core.policies.factory import POLICY_NAMES
+from repro.sim.scenario import Scenario
+from repro.solar.weather import DayClass
+
+
+def _specs():
+    scenario = Scenario(dt_s=300.0)
+    trace = scenario.trace_generator().day(DayClass.CLOUDY)
+    return [
+        RunSpec(scenario=scenario, trace=trace, policy=name)
+        for name in POLICY_NAMES
+    ]
+
+
+def test_campaign_fresh(benchmark, request):
+    workers = request.config.getoption("--campaign-workers")
+    specs = _specs()
+    report = benchmark.pedantic(
+        run_campaign,
+        args=(specs,),
+        kwargs={"n_workers": workers, "cache": None},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"  {report.summary_line()}")
+    assert report.n_executed == len(specs)
+    assert not report.failures
+
+
+def test_campaign_cached(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "bench-cache")
+    specs = _specs()
+    warm = run_campaign(specs, n_workers=1, cache=cache)
+    assert warm.n_executed == len(specs)
+
+    report = benchmark.pedantic(
+        run_campaign,
+        args=(specs,),
+        kwargs={"n_workers": 1, "cache": cache},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"  {report.summary_line()}")
+    assert report.n_cache_hits == len(specs)
+    assert report.n_executed == 0
+    for fresh, cached in zip(warm.outcomes, report.outcomes):
+        assert cached.result.throughput == fresh.result.throughput
+        assert [n.final_soc for n in cached.result.nodes] == [
+            n.final_soc for n in fresh.result.nodes
+        ]

@@ -21,6 +21,12 @@ Quick start::
 """
 
 from repro.battery import BatteryParams, BatteryUnit, BatteryPool
+from repro.campaign import (
+    CampaignReport,
+    ResultCache,
+    RunSpec,
+    run_campaign,
+)
 from repro.core import (
     BAATController,
     BAATPolicy,
@@ -42,6 +48,10 @@ __all__ = [
     "BatteryParams",
     "BatteryUnit",
     "BatteryPool",
+    "CampaignReport",
+    "ResultCache",
+    "RunSpec",
+    "run_campaign",
     "BAATController",
     "BAATPolicy",
     "BAATHidingPolicy",

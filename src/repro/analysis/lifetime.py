@@ -18,10 +18,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.battery.aging.mechanisms import EOL_FADE
-from repro.core.policies.factory import make_policy
+from repro.campaign import DEFAULT_CACHE, RunSpec, run_campaign
 from repro.errors import ConfigurationError
 from repro.rng import spawn
-from repro.sim.engine import run_policy_on_trace
 from repro.sim.results import SimResult
 from repro.sim.scenario import Scenario
 from repro.solar.trace import SolarTraceGenerator
@@ -58,28 +57,10 @@ def season_day_classes(
     return weather.sample_days(n_days, rng)
 
 
-def estimate_lifetime_days(
-    policy_name: str,
-    scenario: Scenario,
-    sunshine_fraction: float = 0.5,
-    n_days: int = 6,
-    day_classes: Optional[Sequence[DayClass]] = None,
+def _estimate_from_result(
+    policy_name: str, scenario: Scenario, result: SimResult
 ) -> LifetimeEstimate:
-    """Run one policy over a representative season and extrapolate.
-
-    Parameters
-    ----------
-    day_classes:
-        Explicit day sequence; overrides the sunshine-fraction sampler
-        (useful for single-condition what-ifs).
-    """
-    if day_classes is None:
-        day_classes = season_day_classes(sunshine_fraction, n_days, scenario.seed)
-    generator: SolarTraceGenerator = scenario.trace_generator()
-    trace = generator.days(list(day_classes))
-    policy = make_policy(policy_name, seed=scenario.seed)
-    result = run_policy_on_trace(scenario, policy, trace)
-
+    """Fold one season result into a lifetime extrapolation."""
     worst_rate = result.worst_damage_per_day()
     mean_rate = result.mean_damage_per_day()
     remaining = max(0.0, EOL_FADE - scenario.initial_fade)
@@ -96,17 +77,55 @@ def estimate_lifetime_days(
     )
 
 
+def estimate_lifetime_days(
+    policy_name: str,
+    scenario: Scenario,
+    sunshine_fraction: float = 0.5,
+    n_days: int = 6,
+    day_classes: Optional[Sequence[DayClass]] = None,
+) -> LifetimeEstimate:
+    """Run one policy over a representative season and extrapolate.
+
+    Parameters
+    ----------
+    day_classes:
+        Explicit day sequence; overrides the sunshine-fraction sampler
+        (useful for single-condition what-ifs).
+    """
+    return lifetime_for_policies(
+        scenario,
+        sunshine_fraction,
+        n_days,
+        policies=(policy_name,),
+        day_classes=day_classes,
+    )[policy_name]
+
+
 def lifetime_for_policies(
     scenario: Scenario,
     sunshine_fraction: float = 0.5,
     n_days: int = 6,
     policies: Sequence[str] = ("e-buff", "baat-s", "baat-h", "baat"),
+    day_classes: Optional[Sequence[DayClass]] = None,
+    n_workers: Optional[int] = None,
+    cache=DEFAULT_CACHE,
 ) -> Dict[str, LifetimeEstimate]:
-    """Lifetime estimates for several policies over *identical* weather."""
-    day_classes = season_day_classes(sunshine_fraction, n_days, scenario.seed)
+    """Lifetime estimates for several policies over *identical* weather.
+
+    The season runs go through the campaign runner: one process per
+    policy up to ``n_workers`` (default: the campaign process default),
+    memoized on disk unless ``cache=None``.
+    """
+    if day_classes is None:
+        day_classes = season_day_classes(sunshine_fraction, n_days, scenario.seed)
+    generator: SolarTraceGenerator = scenario.trace_generator()
+    trace = generator.days(list(day_classes))
+    specs = [
+        RunSpec(scenario=scenario, trace=trace, policy=name, label=name)
+        for name in policies
+    ]
+    results = run_campaign(specs, n_workers=n_workers, cache=cache).results()
     return {
-        name: estimate_lifetime_days(
-            name, scenario, sunshine_fraction, n_days, day_classes=day_classes
-        )
+        name: _estimate_from_result(name, scenario, results[name])
         for name in policies
     }

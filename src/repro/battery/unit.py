@@ -163,6 +163,13 @@ class BatteryUnit:
         """Hours elapsed since the battery last reached full charge."""
         return self._hours_since_full
 
+    @property
+    def last_current_a(self) -> float:
+        """Signed terminal current of the most recent step (A, positive =
+        discharge), 0.0 before any step. The engine and recorder read
+        this rather than reaching into private coulomb-counter state."""
+        return self._last_current
+
     def terminal_voltage(self, current: float = 0.0) -> float:
         """Terminal voltage at a hypothetical signed current (A)."""
         return self.voltage_model.terminal_voltage(

@@ -1,0 +1,303 @@
+"""The campaign runner: execute many run specs fast and safely.
+
+Execution pipeline for a list of :class:`~repro.campaign.spec.RunSpec`:
+
+1. **Cache probe** — cacheable specs are looked up in the on-disk
+   :class:`~repro.campaign.cache.ResultCache`; hits skip simulation
+   entirely (seeded RNG makes a cached result identical to a fresh run).
+2. **Fan-out** — remaining specs run on a
+   :class:`concurrent.futures.ProcessPoolExecutor` (``n_workers`` > 1) or
+   inline in this process (``n_workers=1``, the deterministic serial
+   fallback). Specs that cannot be pickled into a worker (closure-built
+   policies) transparently run inline.
+3. **Retry** — a failed cell is retried once (configurable); every
+   attempt's error is recorded on the outcome so flaky infrastructure is
+   visible even when the retry succeeds.
+4. **Memoize** — fresh successful results of cacheable specs are written
+   back to the cache.
+
+The worker count defaults to ``REPRO_CAMPAIGN_WORKERS`` (else serial) and
+can be set process-wide with :func:`set_default_workers` — the CLI's
+``--workers`` flag and the benchmark harness use that hook, which is how
+every figure sweep inherits parallelism without threading a parameter
+through each ``run()`` signature.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.cache import ResultCache, default_cache
+from repro.campaign.spec import RunSpec
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.results import SimResult
+
+_ENV_WORKERS = "REPRO_CAMPAIGN_WORKERS"
+
+#: Sentinel: "use the process default cache" (distinct from None = off).
+DEFAULT_CACHE = object()
+
+_default_workers: Optional[int] = None
+
+
+class CampaignError(SimulationError):
+    """A campaign cell failed after exhausting its retries."""
+
+
+# ----------------------------------------------------------------------
+# Worker-count defaults
+# ----------------------------------------------------------------------
+def get_default_workers() -> int:
+    """Process-default worker count (env ``REPRO_CAMPAIGN_WORKERS`` or 1)."""
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get(_ENV_WORKERS, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ConfigurationError(
+                f"{_ENV_WORKERS} must be an integer, got {env!r}"
+            ) from None
+    return 1
+
+
+def set_default_workers(n: Optional[int]) -> None:
+    """Set (or with ``None`` reset) the process-default worker count."""
+    global _default_workers
+    if n is not None and n < 1:
+        raise ConfigurationError("worker count must be >= 1")
+    _default_workers = n
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunOutcome:
+    """What happened to one campaign cell."""
+
+    spec: RunSpec
+    result: Optional[SimResult]
+    from_cache: bool = False
+    attempts: int = 0
+    errors: Tuple[str, ...] = ()
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def label(self) -> str:
+        return self.spec.effective_label
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """All outcomes of one :func:`run_campaign` invocation."""
+
+    outcomes: Tuple[RunOutcome, ...]
+    n_workers: int
+    wall_s: float
+    cache_dir: Optional[str] = None
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    @property
+    def n_executed(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok and not o.from_cache)
+
+    @property
+    def failures(self) -> Tuple[RunOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    def outcome(self, label: str) -> RunOutcome:
+        """The outcome for one labelled cell."""
+        for o in self.outcomes:
+            if o.label == label:
+                return o
+        raise ConfigurationError(f"no campaign cell labelled {label!r}")
+
+    def results(self, strict: bool = True) -> Dict[str, SimResult]:
+        """Results keyed by cell label (insertion order preserved).
+
+        With ``strict`` (the default), any failed cell raises
+        :class:`CampaignError` carrying the recorded errors; otherwise
+        failed cells are silently omitted.
+        """
+        if strict and self.failures:
+            details = "; ".join(
+                f"{o.label}: {o.errors[-1] if o.errors else 'unknown error'}"
+                for o in self.failures
+            )
+            raise CampaignError(
+                f"{len(self.failures)} campaign cell(s) failed after retries: "
+                f"{details}"
+            )
+        return {o.label: o.result for o in self.outcomes if o.ok}
+
+    def summary_line(self) -> str:
+        """One-line accounting string for logs and CLI output."""
+        return (
+            f"{len(self.outcomes)} run(s): {self.n_cache_hits} cached, "
+            f"{self.n_executed} executed, {len(self.failures)} failed "
+            f"[{self.n_workers} worker(s), {self.wall_s:.2f}s]"
+        )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _execute_spec(spec: RunSpec) -> SimResult:
+    """Worker entry point: run one cell to completion."""
+    return spec.execute()
+
+
+def _error_string(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_inline(spec: RunSpec, retries: int) -> Tuple[Optional[SimResult], int, Tuple[str, ...]]:
+    """Run one spec in-process with retries; returns (result, attempts, errors)."""
+    errors: List[str] = []
+    for attempt in range(1 + retries):
+        try:
+            return _execute_spec(spec), attempt + 1, tuple(errors)
+        except Exception as exc:  # noqa: BLE001 - recorded and surfaced
+            errors.append(_error_string(exc))
+    return None, 1 + retries, tuple(errors)
+
+
+def _is_picklable(spec: RunSpec) -> bool:
+    try:
+        pickle.dumps(spec)
+        return True
+    except Exception:
+        return False
+
+
+def run_campaign(
+    specs: Sequence[RunSpec],
+    n_workers: Optional[int] = None,
+    cache: Union[ResultCache, None, object] = DEFAULT_CACHE,
+    retries: int = 1,
+) -> CampaignReport:
+    """Execute a list of run specs with caching and parallel fan-out.
+
+    Parameters
+    ----------
+    specs:
+        The campaign cells; report order follows spec order.
+    n_workers:
+        Process pool size. ``None`` uses the process default
+        (:func:`get_default_workers`); ``1`` runs serially inline.
+    cache:
+        A :class:`ResultCache`, ``None`` to disable memoization, or the
+        default sentinel to use the process default cache.
+    retries:
+        How many times to re-run a failed cell (default 1).
+    """
+    specs = list(specs)
+    if retries < 0:
+        raise ConfigurationError("retries must be >= 0")
+    workers = n_workers if n_workers is not None else get_default_workers()
+    if workers < 1:
+        raise ConfigurationError("n_workers must be >= 1")
+    resolved_cache: Optional[ResultCache]
+    if cache is DEFAULT_CACHE:
+        resolved_cache = default_cache()
+    else:
+        resolved_cache = cache  # type: ignore[assignment]
+
+    t0 = time.perf_counter()
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    pending: List[Tuple[int, RunSpec, Optional[str]]] = []
+
+    # Phase 1: cache probe.
+    for i, spec in enumerate(specs):
+        key = spec.cache_key() if resolved_cache is not None else None
+        if key is not None:
+            hit = resolved_cache.get(key)
+            if isinstance(hit, SimResult):
+                outcomes[i] = RunOutcome(
+                    spec=spec, result=hit, from_cache=True, attempts=0
+                )
+                continue
+        pending.append((i, spec, key))
+
+    # Phase 2: execute misses (pool or inline).
+    fresh: List[Tuple[int, RunSpec, Optional[str], Optional[SimResult], int, Tuple[str, ...], float]] = []
+    pool_indices = {i for i, s, _ in pending if workers > 1 and _is_picklable(s)}
+    pool_jobs = [(i, s, k) for i, s, k in pending if i in pool_indices]
+    inline_jobs = [(i, s, k) for i, s, k in pending if i not in pool_indices]
+
+    if pool_jobs:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pool_jobs))) as pool:
+            states = {}
+            not_done = set()
+            for i, spec, key in pool_jobs:
+                fut = pool.submit(_execute_spec, spec)
+                states[fut] = (i, spec, key, 1, (), time.perf_counter())
+                not_done.add(fut)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i, spec, key, attempt, errors, started = states.pop(fut)
+                    try:
+                        result = fut.result()
+                    except Exception as exc:  # noqa: BLE001 - retried below
+                        errors = errors + (_error_string(exc),)
+                        if attempt <= retries:
+                            retry = pool.submit(_execute_spec, spec)
+                            states[retry] = (
+                                i, spec, key, attempt + 1, errors, started,
+                            )
+                            not_done.add(retry)
+                            continue
+                        result = None
+                    fresh.append(
+                        (
+                            i, spec, key, result, attempt, errors,
+                            time.perf_counter() - started,
+                        )
+                    )
+
+    for i, spec, key in inline_jobs:
+        started = time.perf_counter()
+        result, attempts, errors = _run_inline(spec, retries)
+        fresh.append(
+            (i, spec, key, result, attempts, errors, time.perf_counter() - started)
+        )
+
+    # Phase 3: memoize and assemble.
+    for i, spec, key, result, attempts, errors, duration in fresh:
+        if result is not None and key is not None and resolved_cache is not None:
+            try:
+                resolved_cache.put(key, result)
+            except OSError:
+                # An unwritable cache dir degrades to uncached execution;
+                # it must never fail a campaign that already has results.
+                pass
+        outcomes[i] = RunOutcome(
+            spec=spec,
+            result=result,
+            from_cache=False,
+            attempts=attempts,
+            errors=errors,
+            duration_s=duration,
+        )
+
+    return CampaignReport(
+        outcomes=tuple(o for o in outcomes if o is not None),
+        n_workers=workers,
+        wall_s=time.perf_counter() - t0,
+        cache_dir=str(resolved_cache.path) if resolved_cache is not None else None,
+    )

@@ -1,18 +1,26 @@
 """Command-line interface.
 
-Three subcommands mirror how the prototype was operated:
+Five subcommands mirror how the prototype was operated:
 
 - ``repro experiments`` — list the paper figures this repo regenerates;
 - ``repro run <exp>`` — regenerate one figure's table (``--full`` for the
   dense sweep);
 - ``repro compare`` — run the Table-4 schemes head-to-head on a chosen
-  day/battery-age cell and print the comparison.
+  day/battery-age cell and print the comparison;
+- ``repro campaign`` — run an arbitrary policy x weather sweep through
+  the parallel, cached campaign runner;
+- ``repro cache`` — inspect or clear the on-disk result cache.
+
+Every simulation-running subcommand accepts ``--workers N`` (process
+fan-out), ``--no-cache`` (force fresh runs), and ``--cache-dir``.
 
 Usage::
 
     python -m repro experiments
-    python -m repro run fig14 --full
+    python -m repro run fig14 --full --workers 4
     python -m repro compare --day rainy --fade 0.1 --days 2
+    python -m repro campaign --policies e-buff,baat --days 3 --workers 4
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -23,9 +31,16 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import format_table, percent_change
-from repro.core.policies.factory import POLICY_NAMES, make_policy
+from repro.campaign import (
+    RunSpec,
+    configure_cache,
+    default_cache,
+    default_cache_dir,
+    run_campaign,
+    set_default_workers,
+)
+from repro.core.policies.factory import POLICY_NAMES
 from repro.rng import DEFAULT_SEED
-from repro.sim.engine import run_policy_on_trace
 from repro.sim.scenario import Scenario
 from repro.solar.weather import DayClass
 
@@ -71,7 +86,40 @@ def cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_execution_flags(args: argparse.Namespace) -> None:
+    """Fold --workers / --no-cache / --cache-dir into process defaults.
+
+    Experiments pick these up through the campaign runner, so one flag
+    parallelises every sweep without threading a parameter through each
+    figure's ``run()`` signature.
+    """
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        if workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        set_default_workers(workers)
+    if getattr(args, "no_cache", False):
+        configure_cache(enabled=False)
+    if getattr(args, "cache_dir", None):
+        configure_cache(directory=args.cache_dir)
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation worker processes (default: REPRO_CAMPAIGN_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache (force fresh simulation)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="override the result-cache directory"
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    _apply_execution_flags(args)
     name = _resolve_experiment(args.experiment)
     module = importlib.import_module(f"repro.experiments.{name}")
     result = module.run(quick=not args.full, seed=args.seed)
@@ -79,20 +127,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_compare(args: argparse.Namespace) -> int:
-    day = DayClass(args.day)
-    scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
-    trace = scenario.trace_generator().days([day] * args.days)
-    print(
-        f"{args.days} x {day.value} day(s), initial fade {args.fade:.0%}, "
-        f"solar {trace.energy_wh() / 1000:.2f} kWh total\n"
-    )
+def _comparison_table(results, labels) -> str:
     rows = []
     base = None
-    for name in POLICY_NAMES:
-        result = run_policy_on_trace(
-            scenario, make_policy(name, seed=args.seed), trace
-        )
+    for name in labels:
+        result = results[name]
         if base is None:
             base = result
         rows.append(
@@ -107,21 +146,88 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 result.dvfs_transitions,
             )
         )
-    print(
-        format_table(
-            (
-                "scheme",
-                "thr/day",
-                "vs e-buff %",
-                "worst fade/d x1e-3",
-                "low-SoC h/d",
-                "down h",
-                "migr",
-                "dvfs",
-            ),
-            rows,
-        )
+    return format_table(
+        (
+            "scheme",
+            "thr/day",
+            f"vs {labels[0]} %",
+            "worst fade/d x1e-3",
+            "low-SoC h/d",
+            "down h",
+            "migr",
+            "dvfs",
+        ),
+        rows,
     )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    _apply_execution_flags(args)
+    day = DayClass(args.day)
+    scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
+    trace = scenario.trace_generator().days([day] * args.days)
+    print(
+        f"{args.days} x {day.value} day(s), initial fade {args.fade:.0%}, "
+        f"solar {trace.energy_wh() / 1000:.2f} kWh total\n"
+    )
+    specs = [
+        RunSpec(scenario=scenario, trace=trace, policy=name)
+        for name in POLICY_NAMES
+    ]
+    report = run_campaign(specs)
+    print(_comparison_table(report.results(), POLICY_NAMES))
+    print(f"\n  {report.summary_line()}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    _apply_execution_flags(args)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    if not policies:
+        raise SystemExit("--policies must name at least one scheme")
+    day_names = [d.strip() for d in args.day_mix.split(",") if d.strip()]
+    try:
+        day_mix = [DayClass(d) for d in day_names]
+    except ValueError as exc:
+        raise SystemExit(f"unknown day class in --day-mix: {exc}")
+    days = (day_mix * ((args.days + len(day_mix) - 1) // len(day_mix)))[: args.days]
+
+    scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
+    trace = scenario.trace_generator().days(days)
+    print(
+        f"campaign: {len(policies)} scheme(s) x {args.days} day(s) "
+        f"({'/'.join(d.value for d in days)}), initial fade {args.fade:.0%}, "
+        f"solar {trace.energy_wh() / 1000:.2f} kWh total\n"
+    )
+    specs = [
+        RunSpec(scenario=scenario, trace=trace, policy=name) for name in policies
+    ]
+    report = run_campaign(specs, n_workers=args.workers)
+    failures = report.failures
+    print(_comparison_table(report.results(strict=False), [
+        o.label for o in report.outcomes if o.ok
+    ]))
+    print(f"\n  {report.summary_line()}")
+    for outcome in failures:
+        print(f"  FAILED {outcome.label}: {'; '.join(outcome.errors)}")
+    return 1 if failures else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_dir:
+        configure_cache(directory=args.cache_dir)
+    cache = default_cache()
+    if cache is None:
+        print("result cache is disabled (REPRO_CAMPAIGN_CACHE=0)")
+        return 0
+    if args.cache_action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.path}")
+        return 0
+    entries = len(cache)
+    print(f"cache dir : {default_cache_dir()}")
+    print(f"entries   : {entries}")
+    print(f"size      : {cache.size_bytes() / 1024:.1f} KiB")
     return 0
 
 
@@ -139,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="e.g. fig14 or 14")
     run.add_argument("--full", action="store_true", help="dense (slow) sweep")
     run.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_execution_flags(run)
 
     compare = sub.add_parser("compare", help="run the four schemes head-to-head")
     compare.add_argument(
@@ -149,6 +256,36 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--days", type=int, default=1)
     compare.add_argument("--dt", type=float, default=120.0)
     compare.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_execution_flags(compare)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a policy x weather sweep through the parallel, cached runner",
+    )
+    campaign.add_argument(
+        "--policies",
+        default=",".join(POLICY_NAMES),
+        help="comma-separated scheme names (default: the four Table-4 schemes)",
+    )
+    campaign.add_argument(
+        "--day-mix",
+        default="cloudy",
+        help="comma-separated day classes cycled over the horizon "
+        "(e.g. cloudy,rainy)",
+    )
+    campaign.add_argument("--days", type=int, default=3)
+    campaign.add_argument("--fade", type=float, default=0.0,
+                          help="initial battery fade (0.10 = 'old')")
+    campaign.add_argument("--dt", type=float, default=120.0)
+    campaign.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_execution_flags(campaign)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument(
+        "cache_action", choices=("info", "clear"), nargs="?", default="info"
+    )
+    cache.add_argument("--cache-dir", default=None,
+                       help="override the result-cache directory")
 
     return parser
 
@@ -159,6 +296,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": cmd_experiments,
         "run": cmd_run,
         "compare": cmd_compare,
+        "campaign": cmd_campaign,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

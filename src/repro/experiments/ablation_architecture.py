@@ -12,44 +12,60 @@ reports aging spread, worst-node aging, and throughput.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.core.policies.factory import make_policy
+from repro.campaign import RunSpec, run_campaign
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import OLD_BATTERY_FADE, sweep_scenario
 from repro.rng import DEFAULT_SEED
-from repro.sim.engine import run_policy_on_trace
 from repro.solar.weather import DayClass
 
+_MATRIX = tuple(
+    (architecture, policy)
+    for architecture in ("per-server", "rack-pool")
+    for policy in ("e-buff", "baat")
+)
 
-def run(quick: bool = True, seed: int = DEFAULT_SEED) -> ExperimentResult:
+
+def run(
+    quick: bool = True,
+    seed: int = DEFAULT_SEED,
+    n_workers: Optional[int] = None,
+) -> ExperimentResult:
     """Run the architecture x policy matrix on a stressed trace."""
     n_days = 2 if quick else 4
     base = sweep_scenario(seed=seed, initial_fade=OLD_BATTERY_FADE)
     mix = ([DayClass.CLOUDY, DayClass.RAINY] * ((n_days + 1) // 2))[:n_days]
     trace = base.trace_generator().days(mix)
 
+    specs = [
+        RunSpec(
+            scenario=replace(base, architecture=architecture),
+            trace=trace,
+            policy=policy_name,
+            label=f"{architecture}|{policy_name}",
+        )
+        for architecture, policy_name in _MATRIX
+    ]
+    results = run_campaign(specs, n_workers=n_workers).results()
+
     rows: List[Sequence[object]] = []
     spreads = {}
-    for architecture in ("per-server", "rack-pool"):
-        scenario = replace(base, architecture=architecture)
-        for policy_name in ("e-buff", "baat"):
-            result = run_policy_on_trace(
-                scenario, make_policy(policy_name, seed=seed), trace
+    for architecture, policy_name in _MATRIX:
+        result = results[f"{architecture}|{policy_name}"]
+        fades = [n.fade_added for n in result.nodes]
+        spread = (max(fades) - min(fades)) / max(max(fades), 1e-12)
+        spreads[(architecture, policy_name)] = spread
+        rows.append(
+            (
+                architecture,
+                policy_name,
+                result.throughput_per_day(),
+                result.worst_damage_per_day() * 1000.0,
+                spread,
+                result.total_downtime_s / 3600.0 / n_days,
             )
-            fades = [n.fade_added for n in result.nodes]
-            spread = (max(fades) - min(fades)) / max(max(fades), 1e-12)
-            spreads[(architecture, policy_name)] = spread
-            rows.append(
-                (
-                    architecture,
-                    policy_name,
-                    result.throughput_per_day(),
-                    result.worst_damage_per_day() * 1000.0,
-                    spread,
-                    result.total_downtime_s / 3600.0 / n_days,
-                )
-            )
+        )
 
     return ExperimentResult(
         exp_id="ablation-architecture",

@@ -10,16 +10,17 @@ that the *coordination* — not any single lever — delivers the result.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import functools
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import percent_change
+from repro.campaign import RunSpec, run_campaign
 from repro.core.policies.baat import BAATPolicy
 from repro.core.policies.factory import make_policy
 from repro.core.slowdown import SlowdownConfig
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import OLD_BATTERY_FADE, sweep_scenario
 from repro.rng import DEFAULT_SEED
-from repro.sim.engine import run_policy_on_trace
 from repro.solar.weather import DayClass
 
 
@@ -33,6 +34,7 @@ class NoConsolidationBAAT(BAATPolicy):
 
 
 def _variants() -> Dict[str, object]:
+    """Label -> picklable policy factory (campaign workers rebuild them)."""
     deep_dvfs = SlowdownConfig(prefer_migration=True, max_throttle_index=10**6)
     no_migration = SlowdownConfig(
         prefer_migration=False, allow_parking=True, max_throttle_index=1
@@ -41,27 +43,40 @@ def _variants() -> Dict[str, object]:
         prefer_migration=True, max_throttle_index=1, protected_soc=0.14
     )
     return {
-        "baat (full)": lambda: make_policy("baat"),
-        "- consolidation": lambda: NoConsolidationBAAT(),
-        "- migration (DVFS+park only)": lambda: BAATPolicy(config=no_migration),
-        "- shallow DVFS (full ladder)": lambda: BAATPolicy(config=deep_dvfs),
-        "- protected floor (thin)": lambda: BAATPolicy(config=thin_floor),
-        "e-buff (no BAAT at all)": lambda: make_policy("e-buff"),
+        "baat (full)": functools.partial(make_policy, "baat"),
+        "- consolidation": NoConsolidationBAAT,
+        "- migration (DVFS+park only)": functools.partial(
+            BAATPolicy, config=no_migration
+        ),
+        "- shallow DVFS (full ladder)": functools.partial(
+            BAATPolicy, config=deep_dvfs
+        ),
+        "- protected floor (thin)": functools.partial(
+            BAATPolicy, config=thin_floor
+        ),
+        "e-buff (no BAAT at all)": functools.partial(make_policy, "e-buff"),
     }
 
 
-def run(quick: bool = True, seed: int = DEFAULT_SEED) -> ExperimentResult:
+def run(
+    quick: bool = True,
+    seed: int = DEFAULT_SEED,
+    n_workers: Optional[int] = None,
+) -> ExperimentResult:
     """Run every ablation variant on a stressed two-day trace."""
     n_days = 2 if quick else 4
     scenario = sweep_scenario(seed=seed, initial_fade=OLD_BATTERY_FADE)
     mix = ([DayClass.RAINY, DayClass.CLOUDY] * ((n_days + 1) // 2))[:n_days]
     trace = scenario.trace_generator().days(mix)
 
+    specs = [
+        RunSpec(scenario=scenario, trace=trace, policy_factory=build, label=label)
+        for label, build in _variants().items()
+    ]
+    results = run_campaign(specs, n_workers=n_workers).results()
+
     rows: List[Sequence[object]] = []
-    results = {}
-    for label, build in _variants().items():
-        result = run_policy_on_trace(scenario, build(), trace)
-        results[label] = result
+    for label, result in results.items():
         rows.append(
             (
                 label,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.battery.unit import BatteryUnit
+from repro.campaign import default_cache, object_key
 from repro.rng import DEFAULT_SEED
 from repro.units import SECONDS_PER_HOUR
 
@@ -128,7 +129,19 @@ def _snapshot(
 
 @functools.lru_cache(maxsize=4)
 def run_campaign(seed: int = DEFAULT_SEED, months: int = CAMPAIGN_MONTHS) -> CampaignResult:
-    """Run (and cache) the six-month campaign."""
+    """Run the six-month campaign (memoized in memory and on disk).
+
+    The campaign is deterministic in (seed, months), so the result is
+    stored in the shared campaign result cache; figures 3/4/5 and their
+    benches replay it from disk across processes.
+    """
+    # `is not None`, not truthiness — an *empty* ResultCache is falsy.
+    cache = default_cache()
+    key = object_key("aging-campaign", seed, months) if cache is not None else None
+    if cache is not None:
+        hit = cache.get(key)
+        if isinstance(hit, CampaignResult):
+            return hit
     battery = BatteryUnit(name="campaign")
     snapshots: List[MonthlySnapshot] = [_snapshot(battery, 0, 1.0, battery.soc)]
     for month in range(1, months + 1):
@@ -140,4 +153,10 @@ def run_campaign(seed: int = DEFAULT_SEED, months: int = CAMPAIGN_MONTHS) -> Cam
         d_out = battery.energy_out_wh - e_out_0
         eta = d_out / d_in if d_in > 0 else 1.0
         snapshots.append(_snapshot(battery, month, eta, min_soc))
-    return CampaignResult(snapshots=tuple(snapshots))
+    result = CampaignResult(snapshots=tuple(snapshots))
+    if cache is not None:
+        try:
+            cache.put(key, result)
+        except OSError:
+            pass
+    return result

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, Optional, Sequence
 
-from repro.core.policies.base import Policy
-from repro.core.policies.factory import make_policy
+from repro.campaign import DEFAULT_CACHE, RunSpec, run_campaign
 from repro.rng import DEFAULT_SEED
-from repro.sim.engine import run_policy_on_trace
 from repro.sim.results import SimResult
 from repro.sim.scenario import Scenario
 from repro.solar.trace import SolarTrace
@@ -39,21 +38,31 @@ def run_policies(
     policies: Sequence[str] = POLICIES,
     record_series: bool = False,
     policy_builder=None,
+    n_workers: Optional[int] = None,
+    cache=DEFAULT_CACHE,
 ) -> Dict[str, SimResult]:
     """Run several schemes over identical weather; keyed by policy name.
 
     ``policy_builder(name) -> Policy`` overrides the default factory (used
-    by threshold sweeps).
+    by threshold sweeps). Runs go through the campaign runner: fanned out
+    over ``n_workers`` processes (default: the campaign process default)
+    and memoized in the on-disk result cache unless ``cache=None``.
     """
-    results: Dict[str, SimResult] = {}
-    for name in policies:
-        policy: Policy = (
-            policy_builder(name) if policy_builder else make_policy(name, seed=scenario.seed)
+    specs = [
+        RunSpec(
+            scenario=scenario,
+            trace=trace,
+            policy=None if policy_builder else name,
+            policy_factory=(
+                functools.partial(policy_builder, name) if policy_builder else None
+            ),
+            record_series=record_series,
+            label=name,
         )
-        results[name] = run_policy_on_trace(
-            scenario, policy, trace, record_series=record_series
-        )
-    return results
+        for name in policies
+    ]
+    report = run_campaign(specs, n_workers=n_workers, cache=cache)
+    return report.results()
 
 
 def day_trace(

@@ -58,7 +58,7 @@ def _run_duty(buffer, days: int, seed: int) -> dict:
             result = buffer.discharge(want, DT_S)
             delivered_wh += result.delivered_power_w * DT_S / SECONDS_PER_HOUR
             unserved_wh += max(0.0, want - result.delivered_power_w) * DT_S / 3600.0
-            current = abs(battery._last_current)
+            current = abs(battery.last_current_a)
             peak_battery_current = max(peak_battery_current, current)
             if bursting:
                 burst_steps += 1

@@ -8,7 +8,7 @@ BAAT-h ~29 % — slowdown matters more than balancing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.lifetime import lifetime_for_policies
 from repro.analysis.reporting import improvement_percent
@@ -25,6 +25,7 @@ def run(
     seed: int = DEFAULT_SEED,
     fractions: Sequence[float] = (),
     n_days: int = 0,
+    n_workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep the sunshine fraction and extrapolate lifetime per scheme."""
     if not fractions:
@@ -37,7 +38,7 @@ def run(
     for fraction in fractions:
         scenario = sweep_scenario(seed=seed)
         estimates = lifetime_for_policies(
-            scenario, sunshine_fraction=fraction, n_days=n_days
+            scenario, sunshine_fraction=fraction, n_days=n_days, n_workers=n_workers
         )
         base = estimates["e-buff"].lifetime_days
         rows.append(

@@ -11,7 +11,7 @@ Paper results, sweeping the loading placed on batteries from 2 to
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.lifetime import lifetime_for_policies
 from repro.analysis.reporting import improvement_percent, reduction_percent
@@ -30,6 +30,7 @@ def run(
     quick: bool = True,
     seed: int = DEFAULT_SEED,
     ratios: Sequence[float] = (),
+    n_workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep the server-to-battery capacity ratio (W/Ah)."""
     if not ratios:
@@ -45,6 +46,7 @@ def run(
             sunshine_fraction=SUNSHINE,
             n_days=n_days,
             policies=("e-buff", "baat"),
+            n_workers=n_workers,
         )
         lifetimes[ratio] = {k: v.lifetime_days for k, v in estimates.items()}
         gain = improvement_percent(

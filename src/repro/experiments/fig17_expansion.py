@@ -8,7 +8,7 @@ server-to-battery ratio and shorten battery life again.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,13 +27,22 @@ FULL_FRACTIONS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95)
 FIT_RATIOS = (4.3, 8.0)
 
 
-def _fit_lifetime_of_ratio(scenario_seed: int, sunshine: float, n_days: int):
+def _fit_lifetime_of_ratio(
+    scenario_seed: int,
+    sunshine: float,
+    n_days: int,
+    n_workers: Optional[int] = None,
+):
     """Fit ``lifetime = a * ratio ** b`` through two sweep points."""
     points = []
     for ratio in FIT_RATIOS:
         scenario = sweep_scenario(seed=scenario_seed).with_server_to_battery_ratio(ratio)
         est = lifetime_for_policies(
-            scenario, sunshine_fraction=sunshine, n_days=n_days, policies=("baat",)
+            scenario,
+            sunshine_fraction=sunshine,
+            n_days=n_days,
+            policies=("baat",),
+            n_workers=n_workers,
         )["baat"]
         points.append((ratio, max(est.lifetime_days, 1.0)))
     (r0, l0), (r1, l1) = points
@@ -46,6 +55,7 @@ def run(
     quick: bool = True,
     seed: int = DEFAULT_SEED,
     fractions: Sequence[float] = (),
+    n_workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Constant-TCO expansion per sunshine fraction."""
     if not fractions:
@@ -61,8 +71,9 @@ def run(
             sunshine_fraction=sunshine,
             n_days=n_days,
             policies=("e-buff", "baat"),
+            n_workers=n_workers,
         )
-        lifetime_fn = _fit_lifetime_of_ratio(seed, sunshine, n_days)
+        lifetime_fn = _fit_lifetime_of_ratio(seed, sunshine, n_days, n_workers)
         depreciation = DepreciationModel(scenario.battery, n_batteries=scenario.n_nodes)
         tco = TCOModel(depreciation=depreciation)
         model = ExpansionModel(

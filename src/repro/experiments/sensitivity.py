@@ -18,7 +18,8 @@ Perturbations:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+import functools
+from typing import Dict, List, Optional, Sequence
 
 from repro.battery.aging.mechanisms import (
     ActiveMassDegradation,
@@ -28,7 +29,7 @@ from repro.battery.aging.mechanisms import (
     WaterLoss,
 )
 from repro.battery.aging.model import AgingModel
-from repro.core.policies.factory import make_policy
+from repro.campaign import RunSpec, run_campaign
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import OLD_BATTERY_FADE, sweep_scenario
 from repro.rng import DEFAULT_SEED
@@ -99,13 +100,12 @@ VARIANTS = (
 )
 
 
-def _run_cell(variant: str, policy_name: str, seed: int, n_days: int) -> float:
-    """Worst-node fade/day for one (variant, policy) cell."""
-    scenario = sweep_scenario(seed=seed, initial_fade=OLD_BATTERY_FADE)
-    mix = ([DayClass.CLOUDY, DayClass.RAINY] * ((n_days + 1) // 2))[:n_days]
-    trace = scenario.trace_generator().days(mix)
-    sim = Simulation(scenario, make_policy(policy_name, seed=seed), trace)
-    # Swap in the perturbed aging model before any stepping.
+def _apply_variant(variant: str, sim: Simulation) -> None:
+    """Swap the perturbed aging model into every battery before stepping.
+
+    Module-level (and bound with :func:`functools.partial`) so the hook
+    pickles into campaign worker processes and hashes into cache keys.
+    """
     mechanisms = _mechanisms(variant)
     gain = _feedback(variant)
     for node in sim.cluster:
@@ -115,18 +115,36 @@ def _run_cell(variant: str, policy_name: str, seed: int, n_days: int) -> float:
         model.state = node.battery.aging.state
         node.battery.aging = model
         assert abs(node.battery.capacity_fade - fade0) < 1e-9
-    result = sim.run()
-    return result.worst_damage_per_day()
 
 
-def run(quick: bool = True, seed: int = DEFAULT_SEED) -> ExperimentResult:
+def run(
+    quick: bool = True,
+    seed: int = DEFAULT_SEED,
+    n_workers: Optional[int] = None,
+) -> ExperimentResult:
     """Perturb the aging calibration and re-measure the BAAT advantage."""
     n_days = 2 if quick else 4
+    scenario = sweep_scenario(seed=seed, initial_fade=OLD_BATTERY_FADE)
+    mix = ([DayClass.CLOUDY, DayClass.RAINY] * ((n_days + 1) // 2))[:n_days]
+    trace = scenario.trace_generator().days(mix)
+    specs = [
+        RunSpec(
+            scenario=scenario,
+            trace=trace,
+            policy=policy,
+            setup=functools.partial(_apply_variant, variant),
+            label=f"{variant}|{policy}",
+        )
+        for variant in VARIANTS
+        for policy in ("e-buff", "baat")
+    ]
+    results = run_campaign(specs, n_workers=n_workers).results()
+
     rows: List[Sequence[object]] = []
     advantages: Dict[str, float] = {}
     for variant in VARIANTS:
-        ebuff = _run_cell(variant, "e-buff", seed, n_days)
-        baat = _run_cell(variant, "baat", seed, n_days)
+        ebuff = results[f"{variant}|e-buff"].worst_damage_per_day()
+        baat = results[f"{variant}|baat"].worst_damage_per_day()
         advantage = (1.0 - baat / ebuff) * 100.0 if ebuff > 0 else 0.0
         advantages[variant] = advantage
         rows.append((variant, ebuff * 1000.0, baat * 1000.0, advantage))

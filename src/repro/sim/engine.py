@@ -71,6 +71,7 @@ class Simulation:
         self._rng = spawn(scenario.seed, f"workload/{policy.name}")
         self._fade_start: Dict[str, float] = {}
         self._placed = False
+        self._begun = False
 
     # ------------------------------------------------------------------
     def deploy(self) -> None:
@@ -82,15 +83,27 @@ class Simulation:
         self._placed = True
 
     def _begin(self) -> None:
-        """One-time setup before stepping: deploy VMs, mark trackers."""
-        if self._fade_start:
+        """One-time setup before stepping: deploy VMs, mark trackers.
+
+        Guarded by an explicit flag — truthiness of ``_fade_start`` is
+        not a begun-sentinel (it stays empty on an empty cluster, which
+        would re-run setup and re-mark trackers every step).
+        """
+        if self._begun:
             return
+        self._begun = True
         self.deploy()
         for node in self.cluster:
             node.tracker.mark(RUN_MARK)
             self._fade_start[node.name] = node.battery.capacity_fade
         self._last_draws: Dict[str, float] = {n.name: 0.0 for n in self.cluster}
         self._step = 0
+        # Step-invariant cadences, computed once rather than per step.
+        dt = self.scenario.dt_s
+        self._control_every = max(
+            1, int(round(self.scenario.control_interval_s / dt))
+        )
+        self._steps_per_day = int(round(SECONDS_PER_DAY / dt))
 
     @property
     def steps_total(self) -> int:
@@ -115,8 +128,8 @@ class Simulation:
         scenario = self.scenario
         dt = scenario.dt_s
         window_lo, window_hi = scenario.operating_window_h
-        control_every = max(1, int(round(scenario.control_interval_s / dt)))
-        steps_per_day = int(round(SECONDS_PER_DAY / dt))
+        control_every = self._control_every
+        steps_per_day = self._steps_per_day
 
         step = self._step
         solar_w = float(self.trace.power_w[step])
@@ -145,7 +158,7 @@ class Simulation:
         # Per-node battery draws for the next control pass (the DR
         # signal): approximate by each node's battery discharge share.
         for node in self.cluster:
-            current = max(0.0, node.battery._last_current)
+            current = max(0.0, node.battery.last_current_a)
             voltage = node.battery.terminal_voltage(current)
             self._last_draws[node.name] = current * max(voltage, 0.0)
 
@@ -172,7 +185,7 @@ class Simulation:
             dt,
             flows,
             {n.name: n.battery.soc for n in self.cluster},
-            {n.name: n.battery._last_current for n in self.cluster},
+            {n.name: n.battery.last_current_a for n in self.cluster},
         )
         self._step += 1
 

@@ -19,18 +19,29 @@ from repro.errors import ConfigurationError
 SOC_BIN_EDGES = (0.0, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90, 1.0001)
 SOC_BIN_LABELS = tuple(f"SoC{i}" for i in range(1, 8))
 
+_BIN_EDGES = np.asarray(SOC_BIN_EDGES)
+_LAST_BIN = len(SOC_BIN_LABELS) - 1
+
+#: Float-accumulation drift tolerated outside [0, 1] before an SoC value
+#: is considered a genuine bug rather than numerical noise.
+SOC_DRIFT_TOLERANCE = 1e-6
+
 #: The paper's low-SoC / deep-discharge line.
 LOW_SOC_THRESHOLD = 0.40
 
 
 def soc_bin(soc: float) -> int:
-    """Index of the Fig.-19 bin containing ``soc`` (0-based)."""
+    """Index of the Fig.-19 bin containing ``soc`` (0-based).
+
+    Values an epsilon outside [0, 1] (coulomb-counting float drift) are
+    clamped; anything further out is a real error and still raises.
+    """
     if not 0.0 <= soc <= 1.0:
-        raise ConfigurationError("soc must be in [0, 1]")
-    for i in range(len(SOC_BIN_EDGES) - 1):
-        if SOC_BIN_EDGES[i] <= soc < SOC_BIN_EDGES[i + 1]:
-            return i
-    return len(SOC_BIN_LABELS) - 1
+        if not -SOC_DRIFT_TOLERANCE <= soc <= 1.0 + SOC_DRIFT_TOLERANCE:
+            raise ConfigurationError("soc must be in [0, 1]")
+        soc = min(1.0, max(0.0, soc))
+    idx = int(np.searchsorted(_BIN_EDGES, soc, side="right")) - 1
+    return min(max(idx, 0), _LAST_BIN)
 
 
 class TraceRecorder:
@@ -64,10 +75,24 @@ class TraceRecorder:
         node_socs: Dict[str, float],
         node_currents: Dict[str, float] | None = None,
     ) -> None:
-        """Fold one step into the series and distributions."""
+        """Fold one step into the series and distributions.
+
+        SoC values are clamped into [0, 1] at this boundary: coulomb
+        counting accumulates float error, and the recorder's job is to
+        log the run, not to crash it an epsilon past full charge.
+        """
         self.total_time_s += dt
-        for name, soc in node_socs.items():
-            self.soc_time_s[name][soc_bin(soc)] += dt
+        names = list(node_socs)
+        socs = np.clip(
+            np.fromiter(node_socs.values(), dtype=float, count=len(names)),
+            0.0,
+            1.0,
+        )
+        # All nodes binned in one vectorised pass (no per-node edge scan).
+        bins = np.searchsorted(_BIN_EDGES, socs, side="right") - 1
+        np.clip(bins, 0, _LAST_BIN, out=bins)
+        for name, soc, soc_idx in zip(names, socs, bins):
+            self.soc_time_s[name][soc_idx] += dt
             if soc < LOW_SOC_THRESHOLD:
                 self.low_soc_time_s[name] += dt
         if self.record_series:
@@ -76,8 +101,8 @@ class TraceRecorder:
             self.demand_w.append(flows.demand_w)
             self.battery_w.append(flows.battery_to_load_w)
             self.feedback_w.append(flows.grid_feedback_w)
-            for name, soc in node_socs.items():
-                self.soc_series[name].append(soc)
+            for name, soc in zip(names, socs):
+                self.soc_series[name].append(float(soc))
                 current = (node_currents or {}).get(name, 0.0)
                 self.current_series[name].append(current)
 

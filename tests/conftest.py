@@ -6,11 +6,24 @@ import pytest
 
 from repro.battery.params import BatteryParams
 from repro.battery.unit import BatteryUnit
+from repro.campaign import configure_cache, reset_cache_config
 from repro.datacenter.server import Server, ServerParams
 from repro.datacenter.vm import VM
 from repro.datacenter.workloads import PAPER_WORKLOADS
 from repro.sim.scenario import Scenario
 from repro.solar.weather import DayClass
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_campaign_cache(tmp_path_factory):
+    """Point the campaign result cache at a per-session temp directory.
+
+    Keeps the suite from reading or writing the user's real cache while
+    still exercising the disk-memoization path end to end.
+    """
+    configure_cache(directory=tmp_path_factory.mktemp("campaign-cache"))
+    yield
+    reset_cache_config()
 
 
 @pytest.fixture

@@ -162,3 +162,26 @@ class TestSample:
         assert state.terminal_voltage_v > 0.0
         assert state.temperature_c > 0.0
         assert not state.is_end_of_life
+
+
+class TestLastCurrentProperty:
+    """Regression: the engine used to reach into ``_last_current``."""
+
+    def test_zero_before_any_step(self, battery):
+        assert battery.last_current_a == 0.0
+
+    def test_positive_during_discharge(self, battery):
+        battery.discharge(100.0, 60.0)
+        assert battery.last_current_a > 0.0
+        assert battery.last_current_a == battery._last_current
+
+    def test_negative_during_charge(self, params):
+        unit = BatteryUnit(params=params, initial_soc=0.5, name="charging")
+        unit.charge(100.0, 60.0)
+        assert unit.last_current_a < 0.0
+        assert unit.last_current_a == unit._last_current
+
+    def test_reset_to_zero_at_rest(self, battery):
+        battery.discharge(100.0, 60.0)
+        battery.rest(60.0)
+        assert battery.last_current_a == 0.0

@@ -1,0 +1,310 @@
+"""Tests for the campaign runner: specs, cache, fan-out, retries."""
+
+import functools
+import pickle
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    ResultCache,
+    RunSpec,
+    run_campaign,
+    set_default_workers,
+)
+from repro.campaign.cache import callable_token, canonical, object_key
+from repro.core.policies.factory import make_policy
+from repro.errors import ConfigurationError
+from repro.sim.engine import run_policy_on_trace
+
+POLICIES = ("e-buff", "baat")
+
+#: Module-level call counter so the flaky hook survives spec re-execution.
+_FLAKY_CALLS = {"n": 0}
+
+
+def _reset_flaky():
+    _FLAKY_CALLS["n"] = 0
+
+
+def flaky_setup(sim):
+    """Fails on its first invocation, succeeds afterwards."""
+    _FLAKY_CALLS["n"] += 1
+    if _FLAKY_CALLS["n"] == 1:
+        raise RuntimeError("transient worker failure")
+
+
+def broken_setup(sim):
+    raise RuntimeError("this cell always breaks")
+
+
+@pytest.fixture
+def specs(tiny_scenario, one_sunny_day):
+    return [
+        RunSpec(scenario=tiny_scenario, trace=one_sunny_day, policy=name)
+        for name in POLICIES
+    ]
+
+
+class TestRunSpec:
+    def test_requires_exactly_one_policy_source(self, tiny_scenario, one_sunny_day):
+        with pytest.raises(ConfigurationError):
+            RunSpec(scenario=tiny_scenario, trace=one_sunny_day)
+        with pytest.raises(ConfigurationError):
+            RunSpec(
+                scenario=tiny_scenario,
+                trace=one_sunny_day,
+                policy="baat",
+                policy_factory=functools.partial(make_policy, "baat"),
+            )
+
+    def test_labels(self, tiny_scenario, one_sunny_day):
+        named = RunSpec(scenario=tiny_scenario, trace=one_sunny_day, policy="baat")
+        assert named.effective_label == "baat"
+        tagged = RunSpec(
+            scenario=tiny_scenario, trace=one_sunny_day, policy="baat", label="cell-3"
+        )
+        assert tagged.effective_label == "cell-3"
+
+    def test_cache_key_is_stable_and_content_sensitive(
+        self, tiny_scenario, one_sunny_day
+    ):
+        from dataclasses import replace
+
+        spec = RunSpec(scenario=tiny_scenario, trace=one_sunny_day, policy="baat")
+        again = RunSpec(scenario=tiny_scenario, trace=one_sunny_day, policy="baat")
+        assert spec.cache_key() == again.cache_key()
+
+        other_policy = RunSpec(
+            scenario=tiny_scenario, trace=one_sunny_day, policy="e-buff"
+        )
+        other_seed = RunSpec(
+            scenario=replace(tiny_scenario, seed=tiny_scenario.seed + 1),
+            trace=one_sunny_day,
+            policy="baat",
+        )
+        with_series = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy="baat",
+            record_series=True,
+        )
+        keys = {
+            spec.cache_key(),
+            other_policy.cache_key(),
+            other_seed.cache_key(),
+            with_series.cache_key(),
+        }
+        assert len(keys) == 4
+
+    def test_lambda_factory_is_uncacheable(self, tiny_scenario, one_sunny_day):
+        spec = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy_factory=lambda: make_policy("baat"),
+        )
+        assert not spec.cacheable
+        assert spec.cache_key() is None
+
+    def test_partial_factory_is_cacheable_and_picklable(
+        self, tiny_scenario, one_sunny_day
+    ):
+        spec = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy_factory=functools.partial(make_policy, "baat"),
+        )
+        assert spec.cacheable
+        assert pickle.loads(pickle.dumps(spec)).effective_label == spec.effective_label
+
+
+class TestCanonical:
+    def test_callable_token_rejects_closures(self):
+        def maker():
+            captured = "baat"
+            return lambda: make_policy(captured)
+
+        assert callable_token(maker()) is None
+        assert callable_token(make_policy) is not None
+
+    def test_object_key_is_hex_and_deterministic(self):
+        key = object_key("x", 1, (2.0, "three"))
+        assert key == object_key("x", 1, (2.0, "three"))
+        assert int(key, 16) >= 0
+
+    def test_canonical_distinguishes_float_and_int(self):
+        assert canonical(1) != canonical(1.0)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = object_key("k")
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert key in cache
+        assert len(cache) == 1
+        assert cache.size_bytes() > 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = object_key("corrupt")
+        cache.put(key, [1, 2, 3])
+        cache._file_for(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert len(cache) == 0  # the broken file was removed
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for i in range(3):
+            cache.put(object_key("entry", i), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestRunCampaign:
+    def test_serial_matches_direct_execution(self, tiny_scenario, one_sunny_day, specs):
+        report = run_campaign(specs, n_workers=1, cache=None)
+        assert report.n_executed == len(specs)
+        assert not report.failures
+        results = report.results()
+        for name in POLICIES:
+            direct = run_policy_on_trace(
+                tiny_scenario,
+                make_policy(name, seed=tiny_scenario.seed),
+                one_sunny_day,
+            )
+            assert results[name] == direct
+
+    def test_parallel_matches_serial(self, specs):
+        serial = run_campaign(specs, n_workers=1, cache=None).results()
+        parallel = run_campaign(specs, n_workers=2, cache=None).results()
+        assert parallel == serial
+
+    def test_cache_hit_skips_resimulation(self, tmp_path, specs):
+        cache = ResultCache(tmp_path / "campaign")
+        first = run_campaign(specs, n_workers=1, cache=cache)
+        assert first.n_executed == len(specs)
+        assert first.n_cache_hits == 0
+
+        second = run_campaign(specs, n_workers=1, cache=cache)
+        assert second.n_executed == 0
+        assert second.n_cache_hits == len(specs)
+        assert all(o.from_cache and o.attempts == 0 for o in second.outcomes)
+        assert second.results() == first.results()
+
+    def test_flaky_cell_is_retried_to_success(self, tiny_scenario, one_sunny_day):
+        _reset_flaky()
+        spec = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy="e-buff",
+            setup=flaky_setup,
+        )
+        report = run_campaign([spec], n_workers=1, cache=None)
+        outcome = report.outcome("e-buff")
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.errors == ("RuntimeError: transient worker failure",)
+
+    def test_persistent_failure_is_surfaced(self, tiny_scenario, one_sunny_day, specs):
+        broken = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy="baat",
+            setup=broken_setup,
+            label="broken",
+        )
+        report = run_campaign([specs[0], broken], n_workers=1, cache=None)
+        outcome = report.outcome("broken")
+        assert not outcome.ok
+        assert outcome.attempts == 2  # first try + one retry
+        assert len(outcome.errors) == 2
+        with pytest.raises(CampaignError, match="broken"):
+            report.results()
+        assert list(report.results(strict=False)) == [specs[0].effective_label]
+
+    def test_persistent_failure_in_pool_is_surfaced(
+        self, tiny_scenario, one_sunny_day, specs
+    ):
+        broken = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy="baat",
+            setup=broken_setup,
+            label="broken",
+        )
+        report = run_campaign([specs[0], broken], n_workers=2, cache=None)
+        outcome = report.outcome("broken")
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert report.outcome(specs[0].effective_label).ok
+
+    def test_unpicklable_spec_runs_inline_and_uncached(
+        self, tmp_path, tiny_scenario, one_sunny_day
+    ):
+        cache = ResultCache(tmp_path / "campaign")
+        spec = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy_factory=lambda: make_policy("baat"),
+            label="closure",
+        )
+        report = run_campaign([spec], n_workers=2, cache=cache)
+        assert report.outcome("closure").ok
+        assert len(cache) == 0
+
+    def test_zero_retries(self, tiny_scenario, one_sunny_day):
+        spec = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy="baat",
+            setup=broken_setup,
+        )
+        report = run_campaign([spec], n_workers=1, cache=None, retries=0)
+        assert report.outcome("baat").attempts == 1
+
+    def test_argument_validation(self, specs):
+        with pytest.raises(ConfigurationError):
+            run_campaign(specs, n_workers=0)
+        with pytest.raises(ConfigurationError):
+            run_campaign(specs, retries=-1)
+        report = run_campaign(specs[:1], n_workers=1, cache=None)
+        with pytest.raises(ConfigurationError):
+            report.outcome("no-such-cell")
+
+    def test_default_workers_hook(self, specs):
+        set_default_workers(2)
+        try:
+            report = run_campaign(specs[:1], cache=None)
+            assert report.n_workers == 2
+        finally:
+            set_default_workers(None)
+
+    def test_summary_line(self, specs):
+        report = run_campaign(specs[:1], n_workers=1, cache=None)
+        assert "1 executed" in report.summary_line()
+        assert "0 cached" in report.summary_line()
+
+
+class TestAgingCampaignCaching:
+    def test_runs_against_an_empty_default_cache(self, tmp_path):
+        """Regression: an *empty* ResultCache is falsy (``__len__`` == 0),
+        so ``if cache:`` skipped key computation while ``cache is not
+        None`` still probed it — crashing on the malformed None key."""
+        from repro.campaign import cache as cache_mod
+        from repro.experiments import aging_campaign
+
+        saved = (cache_mod._override_enabled, cache_mod._override_dir)
+        cache_mod.configure_cache(directory=tmp_path / "empty")
+        try:
+            aging_campaign.run_campaign.cache_clear()
+            first = aging_campaign.run_campaign(months=1)
+            assert first.snapshots
+            # Second process-equivalent lookup replays from disk.
+            aging_campaign.run_campaign.cache_clear()
+            assert aging_campaign.run_campaign(months=1) == first
+        finally:
+            aging_campaign.run_campaign.cache_clear()
+            cache_mod._override_enabled, cache_mod._override_dir = saved

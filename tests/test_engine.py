@@ -142,3 +142,61 @@ class TestAmbientCycle:
         # And the battery ends the day at a plausible shelf temperature.
         for node in sim.cluster:
             assert 10.0 < node.battery.thermal.temperature_c < 45.0
+
+
+class TestBeginOnce:
+    """Regression: ``_begin`` was guarded by ``if self._fade_start:``.
+
+    An empty cluster leaves ``_fade_start`` empty (falsy), so one-time
+    setup re-ran on every step — re-marking trackers and resetting the
+    step counter. The guard is now an explicit ``_begun`` flag.
+    """
+
+    def test_begin_runs_setup_exactly_once(
+        self, tiny_scenario, one_sunny_day, monkeypatch
+    ):
+        sim = Simulation(tiny_scenario, make_policy("e-buff"), one_sunny_day)
+        calls = []
+        original = sim.deploy
+        monkeypatch.setattr(
+            sim, "deploy", lambda: (calls.append(None), original())[-1]
+        )
+        sim.step_once()
+        sim.step_once()
+        assert calls == [None]
+        assert sim.steps_done == 2
+
+    def test_empty_cluster_begins_exactly_once(
+        self, tiny_scenario, one_sunny_day, monkeypatch
+    ):
+        from dataclasses import replace
+
+        scenario = replace(tiny_scenario, workloads=())
+        sim = Simulation(scenario, make_policy("e-buff"), one_sunny_day)
+        sim.cluster.nodes.clear()
+        sim.cluster._by_name.clear()
+        calls = []
+        original = sim.deploy
+        monkeypatch.setattr(
+            sim, "deploy", lambda: (calls.append(None), original())[-1]
+        )
+        sim.step_once()
+        sim.step_once()
+        assert sim._fade_start == {}  # the old, falsy sentinel
+        assert calls == [None]
+        assert sim.steps_done == 2
+
+    def test_cadences_hoisted_at_begin(self, tiny_scenario, one_sunny_day):
+        sim = Simulation(tiny_scenario, make_policy("e-buff"), one_sunny_day)
+        sim.step_once()
+        assert sim._control_every == max(
+            1, round(tiny_scenario.control_interval_s / tiny_scenario.dt_s)
+        )
+        assert sim._steps_per_day == round(SECONDS_PER_DAY / tiny_scenario.dt_s)
+
+    def test_recorded_draws_match_public_current(self, tiny_scenario, one_cloudy_day):
+        sim = Simulation(tiny_scenario, make_policy("e-buff"), one_cloudy_day)
+        for _ in range(20):
+            sim.step_once()
+        for node in sim.cluster:
+            assert sim._last_draws[node.name] == node.battery.last_current_a

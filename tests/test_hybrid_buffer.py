@@ -74,7 +74,7 @@ class TestHybridBuffer:
         assert hybrid.supercap.soc < 1.0
         # Battery current stayed at/below the gentle rate.
         gentle_a = 3.0 * hybrid.battery.params.reference_current
-        assert abs(hybrid.battery._last_current) <= gentle_a * 1.05
+        assert abs(hybrid.battery.last_current_a) <= gentle_a * 1.05
 
     def test_battery_backstops_empty_cap(self):
         hybrid = HybridBuffer(supercap=Supercapacitor(initial_soc=0.0))
@@ -156,7 +156,7 @@ class TestHybridEnergyConservation:
         saw_battery_spike = False
         for _ in range(120):
             hybrid.discharge(want, 10.0)
-            if abs(hybrid.battery._last_current) > gentle_a * 1.05:
+            if abs(hybrid.battery.last_current_a) > gentle_a * 1.05:
                 saw_battery_spike = True
                 break
         assert saw_battery_spike

@@ -75,3 +75,30 @@ class TestRecording:
         rec = TraceRecorder(["a"])
         assert rec.soc_distribution("a")["SoC1"] == 0.0
         assert rec.low_soc_fraction("a") == 0.0
+
+
+class TestEpsilonDrift:
+    """Regression: integrator round-off used to crash the recorder.
+
+    SoC integration can land epsilon outside [0, 1]; ``soc_bin`` now
+    clamps drift within SOC_DRIFT_TOLERANCE instead of raising, while
+    genuinely out-of-range values are still rejected.
+    """
+
+    def test_epsilon_above_one_is_clamped(self):
+        assert soc_bin(1.0 + 1e-12) == 6
+
+    def test_epsilon_below_zero_is_clamped(self):
+        assert soc_bin(-1e-12) == 0
+
+    def test_beyond_tolerance_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            soc_bin(1.0 + 1e-3)
+        with pytest.raises(ConfigurationError):
+            soc_bin(-1e-3)
+
+    def test_record_accepts_integrator_drift(self):
+        rec = TraceRecorder(["a"], record_series=True)
+        rec.record(0.0, 60.0, flows(), {"a": 1.0 + 1e-12})
+        assert rec.soc_distribution("a")["SoC7"] == pytest.approx(1.0)
+        assert rec.soc_series["a"][0] == 1.0
