@@ -35,6 +35,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.campaign.cache import ResultCache, default_cache
 from repro.campaign.spec import RunSpec
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs import BUS, REGISTRY
+from repro.obs.events import (
+    CellCacheHitEvent,
+    CellFinishEvent,
+    CellRetryEvent,
+    CellStartEvent,
+)
 from repro.sim.results import SimResult
 
 _ENV_WORKERS = "REPRO_CAMPAIGN_WORKERS"
@@ -152,6 +159,32 @@ class CampaignReport:
             f"[{self.n_workers} worker(s), {self.wall_s:.2f}s]"
         )
 
+    def cache_summary_line(self) -> str:
+        """Hit/miss accounting for the cache probe phase."""
+        misses = len(self.outcomes) - self.n_cache_hits
+        where = f" ({self.cache_dir})" if self.cache_dir else " (cache disabled)"
+        return f"cache: {self.n_cache_hits} hit(s), {misses} miss(es){where}"
+
+    def per_cell_lines(self) -> List[str]:
+        """Per-cell accounting: wall time, attempts, and result source."""
+        lines = []
+        width = max((len(o.label) for o in self.outcomes), default=0)
+        for o in self.outcomes:
+            label = o.label.ljust(width)
+            if o.from_cache:
+                lines.append(f"{label}  cached")
+            elif o.ok:
+                retries = (
+                    f", {o.attempts} attempt(s)" if o.attempts > 1 else ""
+                )
+                lines.append(f"{label}  {o.duration_s:7.2f}s{retries}")
+            else:
+                lines.append(
+                    f"{label}  FAILED after {o.attempts} attempt(s) "
+                    f"[{o.duration_s:.2f}s]"
+                )
+        return lines
+
 
 # ----------------------------------------------------------------------
 # Execution
@@ -165,7 +198,9 @@ def _error_string(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _run_inline(spec: RunSpec, retries: int) -> Tuple[Optional[SimResult], int, Tuple[str, ...]]:
+def _run_inline(
+    spec: RunSpec, retries: int, t0: float = 0.0
+) -> Tuple[Optional[SimResult], int, Tuple[str, ...]]:
     """Run one spec in-process with retries; returns (result, attempts, errors)."""
     errors: List[str] = []
     for attempt in range(1 + retries):
@@ -173,6 +208,15 @@ def _run_inline(spec: RunSpec, retries: int) -> Tuple[Optional[SimResult], int, 
             return _execute_spec(spec), attempt + 1, tuple(errors)
         except Exception as exc:  # noqa: BLE001 - recorded and surfaced
             errors.append(_error_string(exc))
+            if attempt < retries and BUS.enabled:
+                BUS.emit(
+                    CellRetryEvent(
+                        t=time.perf_counter() - t0,
+                        label=spec.effective_label,
+                        attempt=attempt + 1,
+                        error=errors[-1],
+                    )
+                )
     return None, 1 + retries, tuple(errors)
 
 
@@ -230,8 +274,19 @@ def run_campaign(
                 outcomes[i] = RunOutcome(
                     spec=spec, result=hit, from_cache=True, attempts=0
                 )
+                if BUS.enabled:
+                    BUS.emit(
+                        CellCacheHitEvent(
+                            t=time.perf_counter() - t0,
+                            label=spec.effective_label,
+                        )
+                    )
+                if REGISTRY.enabled:
+                    REGISTRY.counter("campaign/cache_hits").inc()
                 continue
         pending.append((i, spec, key))
+    if REGISTRY.enabled and pending:
+        REGISTRY.counter("campaign/cache_misses").inc(len(pending))
 
     # Phase 2: execute misses (pool or inline).
     fresh: List[Tuple[int, RunSpec, Optional[str], Optional[SimResult], int, Tuple[str, ...], float]] = []
@@ -247,6 +302,13 @@ def run_campaign(
                 fut = pool.submit(_execute_spec, spec)
                 states[fut] = (i, spec, key, 1, (), time.perf_counter())
                 not_done.add(fut)
+                if BUS.enabled:
+                    BUS.emit(
+                        CellStartEvent(
+                            t=time.perf_counter() - t0,
+                            label=spec.effective_label,
+                        )
+                    )
             while not_done:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for fut in done:
@@ -261,6 +323,15 @@ def run_campaign(
                                 i, spec, key, attempt + 1, errors, started,
                             )
                             not_done.add(retry)
+                            if BUS.enabled:
+                                BUS.emit(
+                                    CellRetryEvent(
+                                        t=time.perf_counter() - t0,
+                                        label=spec.effective_label,
+                                        attempt=attempt,
+                                        error=errors[-1],
+                                    )
+                                )
                             continue
                         result = None
                     fresh.append(
@@ -271,8 +342,14 @@ def run_campaign(
                     )
 
     for i, spec, key in inline_jobs:
+        if BUS.enabled:
+            BUS.emit(
+                CellStartEvent(
+                    t=time.perf_counter() - t0, label=spec.effective_label
+                )
+            )
         started = time.perf_counter()
-        result, attempts, errors = _run_inline(spec, retries)
+        result, attempts, errors = _run_inline(spec, retries, t0=t0)
         fresh.append(
             (i, spec, key, result, attempts, errors, time.perf_counter() - started)
         )
@@ -294,6 +371,22 @@ def run_campaign(
             errors=errors,
             duration_s=duration,
         )
+        if BUS.enabled:
+            BUS.emit(
+                CellFinishEvent(
+                    t=time.perf_counter() - t0,
+                    label=spec.effective_label,
+                    ok=result is not None,
+                    attempts=attempts,
+                    wall_s=duration,
+                )
+            )
+        if REGISTRY.enabled:
+            REGISTRY.histogram("campaign/cell_wall_s").observe(duration)
+            if result is None:
+                REGISTRY.counter("campaign/failures").inc()
+            else:
+                REGISTRY.counter("campaign/executed").inc()
 
     return CampaignReport(
         outcomes=tuple(o for o in outcomes if o is not None),

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands mirror how the prototype was operated:
+Seven subcommands mirror how the prototype was operated:
 
 - ``repro experiments`` — list the paper figures this repo regenerates;
 - ``repro run <exp>`` — regenerate one figure's table (``--full`` for the
@@ -9,17 +9,26 @@ Five subcommands mirror how the prototype was operated:
   day/battery-age cell and print the comparison;
 - ``repro campaign`` — run an arbitrary policy x weather sweep through
   the parallel, cached campaign runner;
-- ``repro cache`` — inspect or clear the on-disk result cache.
+- ``repro cache`` — inspect or clear the on-disk result cache;
+- ``repro trace <file>`` — inspect a trace JSONL written by ``--trace``;
+- ``repro stats`` — run one instrumented simulation and print the metric
+  registry: step-phase timings, action counters, gauges.
 
 Every simulation-running subcommand accepts ``--workers N`` (process
-fan-out), ``--no-cache`` (force fresh runs), and ``--cache-dir``.
+fan-out), ``--no-cache`` (force fresh runs), ``--cache-dir``, and
+``--trace FILE`` (stream structured telemetry events to a JSONL file —
+engine events are captured from in-process runs, so use ``--workers 1``,
+the default, for full control-loop traces).
 
 Usage::
 
     python -m repro experiments
     python -m repro run fig14 --full --workers 4
+    python -m repro run fig18 --trace out.jsonl
     python -m repro compare --day rainy --fade 0.1 --days 2
     python -m repro campaign --policies e-buff,baat --days 3 --workers 4
+    python -m repro trace out.jsonl --kind vm_migrated
+    python -m repro stats --policy baat-planned --day rainy --days 2
     python -m repro cache info
 """
 
@@ -28,6 +37,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+from collections import Counter as _Counter
 from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import format_table, percent_change
@@ -40,6 +50,13 @@ from repro.campaign import (
     set_default_workers,
 )
 from repro.core.policies.factory import POLICY_NAMES
+from repro.obs import (
+    BUS,
+    REGISTRY,
+    disable_observability,
+    enable_observability,
+    iter_events,
+)
 from repro.rng import DEFAULT_SEED
 from repro.sim.scenario import Scenario
 from repro.solar.weather import DayClass
@@ -115,6 +132,10 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--cache-dir", default=None, help="override the result-cache directory"
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write structured telemetry events (JSONL) to FILE",
     )
 
 
@@ -207,10 +228,112 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     print(_comparison_table(report.results(strict=False), [
         o.label for o in report.outcomes if o.ok
     ]))
-    print(f"\n  {report.summary_line()}")
+    print("\ncells:")
+    for line in report.per_cell_lines():
+        print(f"  {line}")
+    print(f"\n  {report.cache_summary_line()}")
+    print(f"  {report.summary_line()}")
     for outcome in failures:
         print(f"  FAILED {outcome.label}: {'; '.join(outcome.errors)}")
     return 1 if failures else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect a trace JSONL file: filter, print, and summarise events."""
+    kinds: _Counter = _Counter()
+    nodes: _Counter = _Counter()
+    printed = 0
+    t_min = float("inf")
+    t_max = float("-inf")
+    total = 0
+    try:
+        for event in iter_events(args.file, strict=False):
+            total += 1
+            kinds[event.kind] += 1
+            node = getattr(event, "node", None)
+            if node:
+                nodes[f"{node}:{event.kind}"] += 1
+            t_min = min(t_min, event.t)
+            t_max = max(t_max, event.t)
+            if args.kind and event.kind != args.kind:
+                continue
+            if args.node and getattr(event, "node", None) != args.node:
+                continue
+            if printed < args.limit:
+                print(event.to_json())
+                printed += 1
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.file}")
+    except BrokenPipeError:  # piped into head/less that closed early
+        return 0
+    except ValueError as exc:
+        raise SystemExit(f"malformed trace line in {args.file}: {exc}")
+    try:
+        if total == 0:
+            print("(empty trace)")
+            return 0
+        print(f"\n{total} event(s), t in [{t_min:.0f}, {t_max:.0f}] s")
+        for kind, count in kinds.most_common():
+            print(f"  {kind:20s} {count}")
+    except BrokenPipeError:  # piped into head/less that closed early
+        pass
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run one instrumented simulation and print the metric registry."""
+    from repro.sim.engine import Simulation
+
+    day = DayClass(args.day)
+    scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
+    trace = scenario.trace_generator().days([day] * args.days)
+    spec = RunSpec(scenario=scenario, trace=trace, policy=args.policy)
+
+    REGISTRY.reset()
+    enable_observability(args.trace)
+    try:
+        with BUS.capture() as sink:
+            Simulation(scenario, spec.build_policy(), trace).run()
+        snap = REGISTRY.snapshot()
+        print(
+            f"{args.policy} on {args.days} x {day.value} day(s), "
+            f"fade {args.fade:.0%}, dt {args.dt:.0f}s\n"
+        )
+        phase_rows = [
+            (
+                name[len("phase/"):],
+                h["count"],
+                h["total"] * 1e3,
+                h["mean"] * 1e6,
+                h["max"] * 1e6,
+            )
+            for name, h in snap["histograms"].items()
+            if name.startswith("phase/")
+        ]
+        if phase_rows:
+            print(format_table(
+                ("phase", "calls", "total ms", "mean us", "max us"), phase_rows
+            ))
+        counter_rows = [(n, v) for n, v in snap["counters"].items()]
+        if counter_rows:
+            print()
+            print(format_table(("counter", "value"), counter_rows))
+        gauge_rows = [(n, v) for n, v in snap["gauges"].items()]
+        if gauge_rows:
+            print()
+            print(format_table(("gauge", "value"), gauge_rows))
+        event_counts = _Counter(e.kind for e in sink.events)
+        if event_counts:
+            print()
+            print(format_table(
+                ("event kind", "count"), list(event_counts.most_common())
+            ))
+        print(f"\n  {BUS.n_emitted} event(s) emitted, "
+              f"{len(REGISTRY.samples)} day snapshot(s)")
+    finally:
+        disable_observability()
+        REGISTRY.reset()
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -287,6 +410,33 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None,
                        help="override the result-cache directory")
 
+    trace = sub.add_parser(
+        "trace", help="inspect a telemetry JSONL file written by --trace"
+    )
+    trace.add_argument("file", help="trace JSONL path")
+    trace.add_argument("--kind", default=None,
+                       help="print only events of this kind")
+    trace.add_argument("--node", default=None,
+                       help="print only events touching this node")
+    trace.add_argument("--limit", type=int, default=20,
+                       help="max events to print before the summary (default 20)")
+
+    stats = sub.add_parser(
+        "stats",
+        help="run one instrumented simulation and print phase timings/metrics",
+    )
+    stats.add_argument("--policy", default="baat",
+                       help="scheme to run (default baat; baat-planned allowed)")
+    stats.add_argument("--day", choices=[d.value for d in DayClass],
+                       default="cloudy")
+    stats.add_argument("--days", type=int, default=1)
+    stats.add_argument("--fade", type=float, default=0.0,
+                       help="initial battery fade (0.10 = 'old')")
+    stats.add_argument("--dt", type=float, default=120.0)
+    stats.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    stats.add_argument("--trace", default=None, metavar="FILE",
+                       help="also write the event stream to FILE (JSONL)")
+
     return parser
 
 
@@ -298,8 +448,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "campaign": cmd_campaign,
         "cache": cmd_cache,
+        "trace": cmd_trace,
+        "stats": cmd_stats,
     }
-    return handlers[args.command](args)
+    # --trace on run/compare/campaign: attach a JSONL sink (and enable the
+    # metric registry) for the duration of the command. `stats` manages
+    # its own sink so it can also print the in-memory event summary.
+    trace_path = getattr(args, "trace", None) if args.command != "stats" else None
+    if trace_path is None:
+        return handlers[args.command](args)
+    sink = enable_observability(trace_path)
+    try:
+        return handlers[args.command](args)
+    finally:
+        n_events = sink.n_written if sink is not None else 0
+        disable_observability()
+        print(f"\n  wrote {n_events} telemetry event(s) to {trace_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

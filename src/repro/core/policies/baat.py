@@ -26,6 +26,8 @@ from repro.core.policies.base import Policy
 from repro.core.slowdown import SlowdownConfig, SlowdownMonitor
 from repro.datacenter.vm import VM
 from repro.errors import MigrationError
+from repro.obs import BUS, REGISTRY
+from repro.obs.events import ConsolidationEvent, ParkEvent, WakeEvent
 from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 #: Minimum seconds between consolidation passes (stop-and-copy churn guard).
@@ -133,6 +135,10 @@ class BAATPolicy(Policy):
                     continue
                 node.server.policy_off = False
                 node.discharge_cap_w = float("inf")
+                if BUS.enabled:
+                    BUS.emit(
+                        WakeEvent(t=t, node=node.name, reason="solar-headroom")
+                    )
                 self._rebalance_onto(node.name)
                 solar_supportable -= 1
                 if solar_supportable <= len(active):
@@ -162,6 +168,18 @@ class BAATPolicy(Policy):
         keepers = {node.name for node, _ in ranked[:keep]}
         victims = [node for node, _ in ranked[keep:] if not node.server.policy_off]
 
+        if BUS.enabled:
+            BUS.emit(
+                ConsolidationEvent(
+                    t=t,
+                    supportable=supportable,
+                    n_active=len(active),
+                    n_victims=len(victims),
+                )
+            )
+        if REGISTRY.enabled:
+            REGISTRY.counter("baat/consolidations").inc()
+
         for victim in reversed(victims):  # worst-aging first
             for vm in list(victim.server.vms):
                 target = self._target_among(vm, victim.name, keepers)
@@ -177,6 +195,8 @@ class BAATPolicy(Policy):
                 continue
             victim.server.policy_off = True
             victim.discharge_cap_w = 0.0
+            if BUS.enabled:
+                BUS.emit(ParkEvent(t=t, node=victim.name, reason="consolidation"))
 
     def _rebalance_onto(self, woken: str) -> None:
         """Move one VM from the most CPU-loaded up node onto a just-woken

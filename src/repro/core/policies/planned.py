@@ -18,6 +18,8 @@ from typing import Dict, Optional
 from repro.core.planner import PlannedAgingManager
 from repro.core.policies.baat import BAATPolicy
 from repro.core.slowdown import SlowdownConfig
+from repro.obs import BUS, REGISTRY
+from repro.obs.events import DoDGoalEvent
 
 
 class PlannedAgingPolicy(BAATPolicy):
@@ -50,13 +52,13 @@ class PlannedAgingPolicy(BAATPolicy):
 
     def on_day_start(self, t: float) -> None:
         super().on_day_start(t)
-        self._refresh_thresholds()
+        self._refresh_thresholds(t)
 
     def _after_bind(self) -> None:
         super()._after_bind()
-        self._refresh_thresholds()
+        self._refresh_thresholds(0.0)
 
-    def _refresh_thresholds(self) -> None:
+    def _refresh_thresholds(self, t: float = 0.0) -> None:
         """Recompute per-node overrides from the plan.
 
         Two knobs move together:
@@ -76,12 +78,22 @@ class PlannedAgingPolicy(BAATPolicy):
                 goal = self.fixed_dod_goal
             else:
                 goal = self.manager.current_dod_goal(node.battery)
-            self.monitor.low_soc_override[node.name] = max(
-                base_threshold, 1.0 - goal
-            )
-            self.monitor.floor_override[node.name] = max(
-                node.battery.params.cutoff_soc + 0.04, 1.0 - goal - 0.08
-            )
+            threshold = max(base_threshold, 1.0 - goal)
+            floor = max(node.battery.params.cutoff_soc + 0.04, 1.0 - goal - 0.08)
+            self.monitor.low_soc_override[node.name] = threshold
+            self.monitor.floor_override[node.name] = floor
+            if BUS.enabled:
+                BUS.emit(
+                    DoDGoalEvent(
+                        t=t,
+                        node=node.name,
+                        goal=goal,
+                        threshold=threshold,
+                        floor=floor,
+                    )
+                )
+            if REGISTRY.enabled:
+                REGISTRY.gauge(f"planned/dod_goal/{node.name}").set(goal)
 
     def current_goals(self) -> Dict[str, float]:
         """Present DoD goal per node (for logging/benches)."""

@@ -29,6 +29,14 @@ from repro.core.scheduler import AgingHidingScheduler
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.node import Node
 from repro.errors import ConfigurationError, MigrationError
+from repro.obs import BUS, REGISTRY
+from repro.obs.events import (
+    DvfsCapEvent,
+    DvfsUncapEvent,
+    EvacuationEvent,
+    ParkEvent,
+    SlowdownActionEvent,
+)
 from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 
@@ -231,6 +239,17 @@ class SlowdownMonitor:
         # DVFS fallback ("if the VM cannot be migrated ... perform DVFS").
         if node.server.freq_index < cfg.max_throttle_index and node.server.throttle_down():
             self.throttles += 1
+            if BUS.enabled:
+                BUS.emit(
+                    DvfsCapEvent(
+                        t=t,
+                        node=node.name,
+                        freq_index=node.server.freq_index,
+                        freq=node.server.frequency,
+                    )
+                )
+            if REGISTRY.enabled:
+                REGISTRY.counter("slowdown/dvfs_caps").inc()
             self._cap_discharge(node, t)
             return "throttled"
         # Ladder exhausted. If even the idle draw is unsustainable, park
@@ -243,12 +262,16 @@ class SlowdownMonitor:
             and self._ration_w(node, t) < node.server.params.idle_w
             and self._active_count() > max(1, len(self.cluster.nodes) // 2)
         ):
-            self._evacuate(node)
+            self._evacuate(node, t)
             for vm in node.server.vms:
                 vm.checkpoint()
             node.server.policy_off = True
             node.discharge_cap_w = 0.0
             self.parks += 1
+            if BUS.enabled:
+                BUS.emit(ParkEvent(t=t, node=node.name, reason="slowdown"))
+            if REGISTRY.enabled:
+                REGISTRY.counter("slowdown/parks").inc()
             return "parked"
         self._cap_discharge(node, t)
         return "capped"
@@ -260,7 +283,7 @@ class SlowdownMonitor:
             1 for n in self.cluster if n.is_up and not n.server.policy_off
         )
 
-    def _evacuate(self, node: Node) -> None:
+    def _evacuate(self, node: Node, t: float) -> None:
         """Move VMs off a node that is about to park.
 
         The SoC margin is waived here: a parked VM makes zero progress, so
@@ -268,6 +291,7 @@ class SlowdownMonitor:
         """
         if self.scheduler is None:
             return
+        moved = 0
         for vm in list(node.server.vms):
             target = self.scheduler.migration_target(vm, node.name)
             if target is None:
@@ -277,6 +301,9 @@ class SlowdownMonitor:
             except MigrationError:
                 continue
             self.migrations += 1
+            moved += 1
+        if moved and BUS.enabled:
+            BUS.emit(EvacuationEvent(t=t, node=node.name, moved=moved))
 
     def recover(self, node: Node) -> None:
         """Release parking/throttling/caps gradually as the battery
@@ -291,7 +318,15 @@ class SlowdownMonitor:
             # battery does not mean the fleet can afford another server.
             return
         if node.battery.soc >= self.config.recovery_soc:
-            node.server.throttle_up()
+            if node.server.throttle_up() and BUS.enabled:
+                BUS.emit(
+                    DvfsUncapEvent(
+                        t=self._last_t,
+                        node=node.name,
+                        freq_index=node.server.freq_index,
+                        freq=node.server.frequency,
+                    )
+                )
             node.discharge_cap_w = float("inf")
 
     def protected_floor(self, node: Node) -> float:
@@ -357,9 +392,23 @@ class SlowdownMonitor:
                 continue
             draw = node_draws.get(node.name, 0.0)
             if self.check(node, draw):
-                actions.append(f"{node.name}:{self.act(node, t)}")
+                action = self.act(node, t)
+                actions.append(f"{node.name}:{action}")
                 if self.first_action_t is None:
                     self.first_action_t = t
+                if BUS.enabled:
+                    BUS.emit(
+                        SlowdownActionEvent(
+                            t=t,
+                            node=node.name,
+                            action=action,
+                            soc=node.battery.soc,
+                            draw_w=draw,
+                            cap_w=node.discharge_cap_w,
+                        )
+                    )
+                if REGISTRY.enabled:
+                    REGISTRY.counter(f"slowdown/actions/{action}").inc()
             else:
                 self.recover(node)
         return actions

@@ -15,6 +15,8 @@ import numpy as np
 from repro.datacenter.node import Node
 from repro.datacenter.vm import VM
 from repro.errors import ConfigurationError, MigrationError, SchedulingError
+from repro.obs import BUS, REGISTRY
+from repro.obs.events import VMMigratedEvent, VMPlacedEvent
 
 #: A server saturates when hosted VMs' mean utilisation exceeds this; used
 #: as the CPU resource constraint for *placement* feasibility.
@@ -74,6 +76,10 @@ class Cluster:
             )
         node.server.attach(vm)
         self.vms[vm.name] = vm
+        if BUS.enabled:
+            BUS.emit(VMPlacedEvent(t=BUS.now, vm=vm.name, node=node_name))
+        if REGISTRY.enabled:
+            REGISTRY.counter("cluster/placements").inc()
 
     def migrate(self, vm_name: str, destination: str) -> None:
         """Live-migrate a VM; raises :class:`MigrationError` on infeasible
@@ -92,6 +98,14 @@ class Cluster:
         dst.server.attach(vm)
         # Receiving work wakes a consolidation-parked server.
         dst.server.policy_off = False
+        if BUS.enabled:
+            BUS.emit(
+                VMMigratedEvent(
+                    t=BUS.now, vm=vm_name, source=src.name, dest=destination
+                )
+            )
+        if REGISTRY.enabled:
+            REGISTRY.counter("cluster/migrations").inc()
 
     def can_migrate(self, vm_name: str, destination: str) -> bool:
         """Feasibility check mirroring :meth:`migrate` without side effects."""

@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.node import Node
+from repro.obs import BUS, REGISTRY
+from repro.obs.events import BrownoutEvent
 from repro.units import SECONDS_PER_HOUR
 
 #: SoC a cut-off battery must recover to before its inverter re-enables
@@ -150,6 +152,12 @@ class PowerPath:
                 node.unserved_wh += shortfall * dt / SECONDS_PER_HOUR
                 node.server.brownout()
                 browned_out += 1
+                if BUS.enabled:
+                    BUS.emit(
+                        BrownoutEvent(t=t, node=node.name, shortfall_w=shortfall)
+                    )
+                if REGISTRY.enabled:
+                    REGISTRY.counter("power/brownouts").inc()
 
         # --- surplus solar charges batteries, emptiest first --------------
         surplus = max(0.0, solar_w - solar_to_load)

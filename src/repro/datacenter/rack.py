@@ -27,6 +27,8 @@ import numpy as np
 from repro.battery.pool import BatteryPool
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.power_path import RESTART_SOC, PowerFlows
+from repro.obs import BUS
+from repro.obs.events import BrownoutEvent
 from repro.units import SECONDS_PER_HOUR
 
 
@@ -112,6 +114,14 @@ class RackPowerPath:
                 node.unserved_wh += (
                     min(remaining, demands[node.name]) * dt / SECONDS_PER_HOUR
                 )
+                if BUS.enabled:
+                    BUS.emit(
+                        BrownoutEvent(
+                            t=t,
+                            node=node.name,
+                            shortfall_w=min(remaining, demands[node.name]),
+                        )
+                    )
                 remaining -= demands[node.name]
                 browned_out += 1
 

@@ -1,0 +1,129 @@
+"""Structured telemetry: event bus, metric registry, phase timers.
+
+The observability substrate every control decision reports through:
+
+- :data:`BUS` — the process-local :class:`~repro.obs.bus.TraceBus`;
+  engine, policies, power path, and campaign runner emit typed
+  :class:`~repro.obs.events.TraceEvent` objects to it when enabled.
+- :data:`REGISTRY` — the process-local
+  :class:`~repro.obs.metrics.MetricRegistry` holding counters, gauges,
+  and histograms (notably the engine's step-phase timers).
+
+Both are *disabled* by default, and every instrumented call site guards
+on a single ``enabled`` attribute, so the layer is near-free when off
+(verified by ``benchmarks/bench_obs_overhead.py``).
+
+Typical use::
+
+    from repro.obs import BUS, REGISTRY, enable_observability
+
+    with BUS.trace_to("out.jsonl"):
+        run_policy_on_trace(scenario, policy, trace)
+
+or, for the CLI's ``--trace`` flag, :func:`enable_observability` /
+:func:`disable_observability` manage a JSONL sink plus the registry in
+one call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.bus import BUS, TraceBus
+from repro.obs.events import (
+    EVENT_TYPES,
+    BrownoutEvent,
+    CellCacheHitEvent,
+    CellFinishEvent,
+    CellRetryEvent,
+    CellStartEvent,
+    ConsolidationEvent,
+    DayStartEvent,
+    DoDGoalEvent,
+    DvfsCapEvent,
+    DvfsUncapEvent,
+    EvacuationEvent,
+    ParkEvent,
+    RunStartEvent,
+    SlowdownActionEvent,
+    SocCrossingEvent,
+    TraceEvent,
+    VMMigratedEvent,
+    VMPlacedEvent,
+    WakeEvent,
+    event_from_dict,
+    iter_events,
+    read_events,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry, REGISTRY
+from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.timers import STEP_PHASES, StepPhaseTimers, time_phase
+
+__all__ = [
+    "BUS",
+    "REGISTRY",
+    "EVENT_TYPES",
+    "STEP_PHASES",
+    "TraceBus",
+    "TraceEvent",
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "StepPhaseTimers",
+    "time_phase",
+    "event_from_dict",
+    "iter_events",
+    "read_events",
+    "enable_observability",
+    "disable_observability",
+    "RunStartEvent",
+    "DayStartEvent",
+    "SocCrossingEvent",
+    "BrownoutEvent",
+    "VMPlacedEvent",
+    "VMMigratedEvent",
+    "SlowdownActionEvent",
+    "DvfsCapEvent",
+    "DvfsUncapEvent",
+    "EvacuationEvent",
+    "ParkEvent",
+    "WakeEvent",
+    "ConsolidationEvent",
+    "DoDGoalEvent",
+    "CellStartEvent",
+    "CellCacheHitEvent",
+    "CellRetryEvent",
+    "CellFinishEvent",
+]
+
+_active_jsonl: Optional[JsonlSink] = None
+
+
+def enable_observability(trace_path: Optional[str] = None) -> Optional[JsonlSink]:
+    """Turn the full layer on: metric registry plus an optional JSONL sink.
+
+    Returns the attached sink (``None`` when no path was given). The CLI
+    uses this behind ``--trace``; call :func:`disable_observability` to
+    tear it back down.
+    """
+    global _active_jsonl
+    REGISTRY.enabled = True
+    if trace_path is not None:
+        _active_jsonl = JsonlSink(trace_path)
+        BUS.add_sink(_active_jsonl)
+    return _active_jsonl
+
+
+def disable_observability() -> None:
+    """Detach the managed JSONL sink (if any) and disable the registry."""
+    global _active_jsonl
+    if _active_jsonl is not None:
+        BUS.remove_sink(_active_jsonl)
+        _active_jsonl.close()
+        _active_jsonl = None
+    REGISTRY.enabled = False

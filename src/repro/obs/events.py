@@ -1,0 +1,305 @@
+"""Typed structured trace events.
+
+Every notable decision the simulator makes — a VM placement, a migration,
+a DVFS cap, a DoD-goal update, a campaign cell starting — is described by
+one :class:`TraceEvent` subclass. Events are plain flat dataclasses so
+they serialise losslessly to JSON dictionaries (:meth:`TraceEvent.
+to_dict`) and back (:func:`event_from_dict`), which is what the JSONL
+sink writes and ``repro trace`` reads.
+
+The ``t`` field is the simulation clock (seconds from run start) for
+engine/control events, and elapsed wall-clock seconds since campaign
+start for the ``cell_*`` events (a campaign has no single simulation
+clock).
+
+Subclassing :class:`TraceEvent` with a ``kind`` automatically registers
+the type for round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Iterator, List, Type
+
+from repro.errors import ConfigurationError
+
+#: kind -> event class, populated by ``__init_subclass__``.
+EVENT_TYPES: Dict[str, Type["TraceEvent"]] = {}
+
+
+@dataclass
+class TraceEvent:
+    """Base event: a timestamp plus a ``kind`` discriminator."""
+
+    t: float = 0.0
+
+    kind: ClassVar[str] = "event"
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        kind = cls.__dict__.get("kind")
+        if kind:
+            EVENT_TYPES[kind] = cls
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready dictionary (``kind`` first for readability)."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Engine / run lifecycle
+# ----------------------------------------------------------------------
+@dataclass
+class RunStartEvent(TraceEvent):
+    """Emitted once when a simulation begins stepping."""
+
+    policy: str = ""
+    n_nodes: int = 0
+    steps_total: int = 0
+
+    kind: ClassVar[str] = "run_start"
+
+
+@dataclass
+class DayStartEvent(TraceEvent):
+    """A simulated day boundary (metric windows reset, plans refresh)."""
+
+    day_index: int = 0
+
+    kind: ClassVar[str] = "day_start"
+
+
+@dataclass
+class SocCrossingEvent(TraceEvent):
+    """A node's battery crossed the low-SoC line (``direction`` is
+    ``"down"`` entering the low region, ``"up"`` leaving it)."""
+
+    node: str = ""
+    soc: float = 0.0
+    threshold: float = 0.0
+    direction: str = "down"
+
+    kind: ClassVar[str] = "soc_crossing"
+
+
+@dataclass
+class BrownoutEvent(TraceEvent):
+    """A server lost power mid-window (unserved deficit)."""
+
+    node: str = ""
+    shortfall_w: float = 0.0
+
+    kind: ClassVar[str] = "brownout"
+
+
+# ----------------------------------------------------------------------
+# Placement / migration (cluster level)
+# ----------------------------------------------------------------------
+@dataclass
+class VMPlacedEvent(TraceEvent):
+    """A VM was placed on a node at deployment time."""
+
+    vm: str = ""
+    node: str = ""
+
+    kind: ClassVar[str] = "vm_placed"
+
+
+@dataclass
+class VMMigratedEvent(TraceEvent):
+    """A VM live-migrated between nodes."""
+
+    vm: str = ""
+    source: str = ""
+    dest: str = ""
+
+    kind: ClassVar[str] = "vm_migrated"
+
+
+# ----------------------------------------------------------------------
+# Slowdown monitor / policy control (intent level)
+# ----------------------------------------------------------------------
+@dataclass
+class SlowdownActionEvent(TraceEvent):
+    """The Fig.-9 monitor acted on a stressed node.
+
+    ``action`` is one of ``migrated``/``throttled``/``capped``/``parked``;
+    ``cap_w`` is the discharge cap left on the node afterwards.
+    """
+
+    node: str = ""
+    action: str = ""
+    soc: float = 0.0
+    draw_w: float = 0.0
+    cap_w: float = 0.0
+
+    kind: ClassVar[str] = "slowdown_action"
+
+
+@dataclass
+class DvfsCapEvent(TraceEvent):
+    """A server stepped down the DVFS ladder (frequency capped)."""
+
+    node: str = ""
+    freq_index: int = 0
+    freq: float = 1.0
+
+    kind: ClassVar[str] = "dvfs_cap"
+
+
+@dataclass
+class DvfsUncapEvent(TraceEvent):
+    """A recovered server stepped back up the DVFS ladder."""
+
+    node: str = ""
+    freq_index: int = 0
+    freq: float = 1.0
+
+    kind: ClassVar[str] = "dvfs_uncap"
+
+
+@dataclass
+class EvacuationEvent(TraceEvent):
+    """VMs were moved off a node about to park."""
+
+    node: str = ""
+    moved: int = 0
+
+    kind: ClassVar[str] = "evacuation"
+
+
+@dataclass
+class ParkEvent(TraceEvent):
+    """A server was put to policy sleep (``reason``: ``slowdown`` or
+    ``consolidation``)."""
+
+    node: str = ""
+    reason: str = ""
+
+    kind: ClassVar[str] = "park"
+
+
+@dataclass
+class WakeEvent(TraceEvent):
+    """A parked server was brought back as supply recovered."""
+
+    node: str = ""
+    reason: str = ""
+
+    kind: ClassVar[str] = "wake"
+
+
+@dataclass
+class ConsolidationEvent(TraceEvent):
+    """One BAAT consolidation pass (cluster-wide plan)."""
+
+    supportable: int = 0
+    n_active: int = 0
+    n_victims: int = 0
+
+    kind: ClassVar[str] = "consolidation"
+
+
+@dataclass
+class DoDGoalEvent(TraceEvent):
+    """Planned aging recomputed a node's Eq.-7 DoD goal."""
+
+    node: str = ""
+    goal: float = 0.0
+    threshold: float = 0.0
+    floor: float = 0.0
+
+    kind: ClassVar[str] = "dod_goal"
+
+
+# ----------------------------------------------------------------------
+# Campaign runner
+# ----------------------------------------------------------------------
+@dataclass
+class CellStartEvent(TraceEvent):
+    """A campaign cell began executing (not served from cache)."""
+
+    label: str = ""
+
+    kind: ClassVar[str] = "cell_start"
+
+
+@dataclass
+class CellCacheHitEvent(TraceEvent):
+    """A campaign cell was served from the on-disk result cache."""
+
+    label: str = ""
+
+    kind: ClassVar[str] = "cell_cache_hit"
+
+
+@dataclass
+class CellRetryEvent(TraceEvent):
+    """A campaign cell attempt failed and is being retried."""
+
+    label: str = ""
+    attempt: int = 0
+    error: str = ""
+
+    kind: ClassVar[str] = "cell_retry"
+
+
+@dataclass
+class CellFinishEvent(TraceEvent):
+    """A campaign cell finished (successfully or not)."""
+
+    label: str = ""
+    ok: bool = True
+    attempts: int = 0
+    wall_s: float = 0.0
+
+    kind: ClassVar[str] = "cell_finish"
+
+
+# ----------------------------------------------------------------------
+# Round-tripping
+# ----------------------------------------------------------------------
+def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a typed event from its :meth:`TraceEvent.to_dict` form.
+
+    Unknown kinds raise :class:`~repro.errors.ConfigurationError`;
+    unknown *fields* of a known kind are dropped, so newer traces stay
+    readable by older code.
+    """
+    kind = data.get("kind")
+    cls = EVENT_TYPES.get(kind or "")
+    if cls is None:
+        raise ConfigurationError(f"unknown trace event kind {kind!r}")
+    known = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def read_events(path: str, strict: bool = True) -> List[TraceEvent]:
+    """Read a whole JSONL trace file into typed events."""
+    return list(iter_events(path, strict=strict))
+
+
+def iter_events(path: str, strict: bool = True) -> Iterator[TraceEvent]:
+    """Stream typed events from a JSONL trace file.
+
+    With ``strict=False``, lines with unknown kinds are skipped instead
+    of raising (useful for forward-compatible tooling).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            try:
+                yield event_from_dict(data)
+            except ConfigurationError:
+                if strict:
+                    raise

@@ -1,0 +1,151 @@
+"""Process-local metric registry: counters, gauges, histograms.
+
+Complements the event bus: events answer *what happened and when*, the
+registry answers *how much and how fast* — step-phase latencies, action
+counts, cache hit rates — without storing one record per occurrence.
+
+Like the bus, the module-level :data:`REGISTRY` is disabled by default
+and instrumented code guards on ``REGISTRY.enabled`` before touching it,
+so the recording path costs nothing when observability is off. Metric
+objects themselves are live handles: fetch them once (``registry.
+counter("x")``) and call ``inc``/``set``/``observe`` on the handle in
+hot loops.
+
+:meth:`MetricRegistry.sample` folds the current values into a
+timestamped snapshot list — the engine samples at day boundaries, giving
+the periodic series the paper's per-day analyses need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (set semantics)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values: count, sum, min, max, mean.
+
+    Deliberately bucket-free — the phase timers and cell durations this
+    registry serves need rates and means, not tail quantiles, and a
+    four-float update keeps the hot path cheap.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricRegistry:
+    """Named metric store with periodic snapshot sampling."""
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.samples: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Get-or-create handles
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(name)
+            return h
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data view of every metric's current value."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def sample(self, t: float) -> Dict[str, Any]:
+        """Record (and return) a timestamped snapshot."""
+        snap = {"t": t, **self.snapshot()}
+        self.samples.append(snap)
+        return snap
+
+    def reset(self) -> None:
+        """Drop every metric and sample (the ``enabled`` flag persists)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.samples.clear()
+
+
+#: The process-wide registry instrumented modules record into.
+REGISTRY = MetricRegistry()

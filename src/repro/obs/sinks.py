@@ -1,0 +1,90 @@
+"""Event sinks: where emitted trace events go.
+
+Three implementations cover the spectrum the telemetry layer needs:
+
+- :class:`NullSink` discards everything. Attaching only null sinks keeps
+  the bus *disabled*, so instrumented code never allocates an event —
+  this is what makes tracing near-free when off.
+- :class:`MemorySink` keeps the last ``maxlen`` events in a ring buffer,
+  for tests and the ``repro stats`` command.
+- :class:`JsonlSink` appends one JSON object per event to a file — the
+  durable format ``repro trace`` reads back.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.obs.events import TraceEvent
+
+
+class EventSink:
+    """Interface: receives every event emitted on an enabled bus."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+
+class NullSink(EventSink):
+    """Discards events; does not enable the bus when attached."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - never
+        # called: a bus with only null sinks stays disabled, and enabled
+        # buses skip the loop body for null sinks' no-op emit anyway.
+        pass
+
+
+class MemorySink(EventSink):
+    """Ring buffer of the most recent events."""
+
+    def __init__(self, maxlen: Optional[int] = None):
+        self._buffer: Deque[TraceEvent] = deque(maxlen=maxlen)
+
+    def emit(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink(EventSink):
+    """Writes events as JSON Lines to a file path or open text stream."""
+
+    def __init__(self, target, flush_every: int = 256):
+        if isinstance(target, (str, bytes)):
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns_fh = True
+            self.path: Optional[str] = str(target)
+        else:
+            self._fh: io.TextIOBase = target
+            self._owns_fh = False
+            self.path = getattr(target, "name", None)
+        self._flush_every = max(1, flush_every)
+        self.n_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fh.write(event.to_json())
+        self._fh.write("\n")
+        self.n_written += 1
+        if self.n_written % self._flush_every == 0:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()

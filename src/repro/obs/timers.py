@@ -1,0 +1,48 @@
+"""Phase timers: wall-clock instrumentation feeding the metric registry.
+
+Two forms:
+
+- :class:`StepPhaseTimers` — pre-resolved histogram handles for the
+  engine's four step phases (control, power-path, VM advance, record).
+  The engine times phases inline with ``perf_counter`` pairs guarded on
+  ``REGISTRY.enabled``; this class only removes the per-step name lookup.
+- :func:`time_phase` — a context manager for coarser, non-hot-loop
+  phases (campaign cells, experiment sweeps).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+from repro.obs.metrics import Histogram, MetricRegistry
+
+#: Engine step phases, in execution order.
+STEP_PHASES = ("control", "power", "advance", "record")
+
+
+class StepPhaseTimers:
+    """Histogram handles for the engine's per-step phases (seconds)."""
+
+    __slots__ = ("control", "power", "advance", "record")
+
+    def __init__(self, registry: MetricRegistry):
+        self.control: Histogram = registry.histogram("phase/control")
+        self.power: Histogram = registry.histogram("phase/power")
+        self.advance: Histogram = registry.histogram("phase/advance")
+        self.record: Histogram = registry.histogram("phase/record")
+
+
+@contextmanager
+def time_phase(registry: MetricRegistry, name: str) -> Iterator[None]:
+    """Time a block into ``phase/<name>`` when the registry is enabled."""
+    if not registry.enabled:
+        yield
+        return
+    hist = registry.histogram(f"phase/{name}")
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        hist.observe(perf_counter() - t0)

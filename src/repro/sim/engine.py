@@ -20,13 +20,17 @@ policy's day hook (planned aging recomputes DoD goals there).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from time import perf_counter
+from typing import Dict
 
 from repro.core.policies.base import Policy
 from repro.datacenter.power_path import PowerPath
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs import BUS, REGISTRY
+from repro.obs.events import DayStartEvent, RunStartEvent, SocCrossingEvent
+from repro.obs.timers import StepPhaseTimers
 from repro.rng import spawn
-from repro.sim.recorder import TraceRecorder
+from repro.sim.recorder import LOW_SOC_THRESHOLD, TraceRecorder
 from repro.sim.results import NodeResult, SimResult
 from repro.sim.scenario import Scenario
 from repro.solar.trace import SolarTrace
@@ -72,6 +76,12 @@ class Simulation:
         self._fade_start: Dict[str, float] = {}
         self._placed = False
         self._begun = False
+        # Step state is defined from construction so steps_done and
+        # external inspection are valid before _begin ever runs.
+        self._step = 0
+        self._last_draws: Dict[str, float] = {}
+        self._soc_below: Dict[str, bool] = {}
+        self._phase_timers: StepPhaseTimers | None = None
 
     # ------------------------------------------------------------------
     def deploy(self) -> None:
@@ -92,12 +102,26 @@ class Simulation:
         if self._begun:
             return
         self._begun = True
+        if BUS.enabled:
+            BUS.now = 0.0
+            BUS.emit(
+                RunStartEvent(
+                    t=0.0,
+                    policy=self.policy.name,
+                    n_nodes=len(self.cluster),
+                    steps_total=self.steps_total,
+                )
+            )
         self.deploy()
         for node in self.cluster:
             node.tracker.mark(RUN_MARK)
             self._fade_start[node.name] = node.battery.capacity_fade
-        self._last_draws: Dict[str, float] = {n.name: 0.0 for n in self.cluster}
-        self._step = 0
+            self._last_draws[node.name] = 0.0
+            self._soc_below[node.name] = node.battery.soc < LOW_SOC_THRESHOLD
+        # Built lazily so a disabled registry is never populated with
+        # empty phase histograms by a plain (untraced) run.
+        if REGISTRY.enabled:
+            self._phase_timers = StepPhaseTimers(REGISTRY)
         # Step-invariant cadences, computed once rather than per step.
         dt = self.scenario.dt_s
         self._control_every = max(
@@ -113,7 +137,7 @@ class Simulation:
     @property
     def steps_done(self) -> int:
         """Steps executed so far."""
-        return getattr(self, "_step", 0)
+        return self._step
 
     def step_once(self) -> None:
         """Execute exactly one simulation step.
@@ -137,6 +161,16 @@ class Simulation:
         tod_h = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
         in_window = window_lo <= tod_h < window_hi
 
+        # Observability guards: one attribute load + branch each when the
+        # layer is off (the near-free contract of repro.obs).
+        obs_on = BUS.enabled
+        timing = REGISTRY.enabled
+        if obs_on:
+            BUS.now = t
+        if timing and self._phase_timers is None:
+            # Registry was enabled after _begin (e.g. mid-run): attach now.
+            self._phase_timers = StepPhaseTimers(REGISTRY)
+
         # Diurnal ambient temperature, peaking mid-afternoon (14:00).
         ambient = scenario.ambient_mean_c + 0.5 * scenario.ambient_swing_c * (
             math.cos(2.0 * math.pi * (tod_h - 14.0) / 24.0)
@@ -145,14 +179,27 @@ class Simulation:
             node.battery.thermal.ambient_c = ambient
 
         if step % steps_per_day == 0:
+            day_index = step // steps_per_day
+            if obs_on:
+                BUS.emit(DayStartEvent(t=t, day_index=day_index))
+            if timing and step > 0:
+                REGISTRY.sample(t)
             self.policy.on_day_start(t)
 
         for node in self.cluster:
             node.server.admin_off = not in_window
 
+        # --- control phase -------------------------------------------
+        if timing:
+            t0 = perf_counter()
         if in_window and step % control_every == 0:
             self.policy.control(t, dt, self._last_draws, solar_w=solar_w)
+        if timing:
+            t1 = perf_counter()
+            self._phase_timers.control.observe(t1 - t0)
+            t0 = t1
 
+        # --- power-path phase ----------------------------------------
         flows = self.power_path.step(t, dt, solar_w, rng=self._rng)
 
         # Per-node battery draws for the next control pass (the DR
@@ -161,7 +208,15 @@ class Simulation:
             current = max(0.0, node.battery.last_current_a)
             voltage = node.battery.terminal_voltage(current)
             self._last_draws[node.name] = current * max(voltage, 0.0)
+        if timing:
+            t1 = perf_counter()
+            self._phase_timers.power.observe(t1 - t0)
+            t0 = t1
 
+        if obs_on:
+            self._emit_soc_crossings(t)
+
+        # --- VM-advance phase ----------------------------------------
         # VM progress accounting. Overcommitted servers time-share: when
         # hosted VMs demand more than one CPU, each runs at its
         # proportional share (consolidation trades speed for staying
@@ -179,7 +234,12 @@ class Simulation:
                 contention = min(1.0, 1.0 / demand) if demand > 1.0 else 1.0
                 for vm in list(node.server.vms):
                     vm.advance(dt, speed * contention, t, self._rng)
+        if timing:
+            t1 = perf_counter()
+            self._phase_timers.advance.observe(t1 - t0)
+            t0 = t1
 
+        # --- record phase --------------------------------------------
         self.recorder.record(
             t,
             dt,
@@ -187,7 +247,27 @@ class Simulation:
             {n.name: n.battery.soc for n in self.cluster},
             {n.name: n.battery.last_current_a for n in self.cluster},
         )
+        if timing:
+            self._phase_timers.record.observe(perf_counter() - t0)
         self._step += 1
+
+    def _emit_soc_crossings(self, t: float) -> None:
+        """Emit an event whenever a battery crosses the low-SoC line."""
+        below = self._soc_below
+        for node in self.cluster:
+            soc = node.battery.soc
+            now_below = soc < LOW_SOC_THRESHOLD
+            if now_below != below[node.name]:
+                below[node.name] = now_below
+                BUS.emit(
+                    SocCrossingEvent(
+                        t=t,
+                        node=node.name,
+                        soc=soc,
+                        threshold=LOW_SOC_THRESHOLD,
+                        direction="down" if now_below else "up",
+                    )
+                )
 
     def run(self) -> SimResult:
         """Execute the whole (remaining) trace and return the results."""

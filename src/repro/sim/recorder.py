@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.datacenter.power_path import PowerFlows
 from repro.errors import ConfigurationError
+from repro.obs import REGISTRY
 
 #: Fig. 19 bins: SoC1 [0,15) ... SoC6 [75,90), SoC7 [90,100].
 SOC_BIN_EDGES = (0.0, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90, 1.0001)
@@ -95,6 +96,11 @@ class TraceRecorder:
             self.soc_time_s[name][soc_idx] += dt
             if soc < LOW_SOC_THRESHOLD:
                 self.low_soc_time_s[name] += dt
+        if REGISTRY.enabled:
+            REGISTRY.counter("recorder/steps").inc()
+            if len(socs):
+                REGISTRY.gauge("recorder/min_soc").set(float(socs.min()))
+                REGISTRY.gauge("recorder/mean_soc").set(float(socs.mean()))
         if self.record_series:
             self.times_s.append(t)
             self.solar_w.append(flows.solar_available_w)
