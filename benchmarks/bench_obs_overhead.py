@@ -11,7 +11,11 @@ baseline. This bench measures the step loop three ways:
 - **null sink** — a ``NullSink`` attached: must be indistinguishable
   from disabled (< 3 % overhead, the PR's acceptance criterion);
 - **full tracing** — memory sink + metric registry + phase timers, for
-  context on what enabling everything costs.
+  context on what enabling everything costs;
+- **alerting** — full tracing plus a live :class:`~repro.obs.health.
+  FleetHealthModel` on the bus and the default alert rules armed: the
+  everything-on operator configuration ``repro health`` uses. Budgeted
+  at :data:`MAX_ALERTING_OVERHEAD_PCT` over disabled.
 
 Run standalone (``python benchmarks/bench_obs_overhead.py``) or through
 pytest (``pytest benchmarks/bench_obs_overhead.py -s``).
@@ -23,7 +27,9 @@ import sys
 from time import perf_counter
 
 from repro.core.policies.factory import make_policy
-from repro.obs import BUS, REGISTRY, MemorySink, NullSink
+from repro.obs import ALERTS, BUS, REGISTRY, MemorySink, NullSink
+from repro.obs.alerts import default_rules
+from repro.obs.health import FleetHealthModel
 from repro.sim.engine import Simulation
 from repro.sim.scenario import Scenario
 from repro.solar.weather import DayClass
@@ -31,10 +37,17 @@ from repro.solar.weather import DayClass
 #: Acceptance threshold for the null-sink path, percent.
 MAX_NULL_OVERHEAD_PCT = 3.0
 
-#: Timing rounds; a multiple of 3 so the rotating mode order puts every
+#: Budget for the everything-on path (tracing + health model + alert
+#: rules), percent over disabled. Folding every battery sample twice
+#: (tracker + health model) and running the watchdog observations is
+#: real work; the budget (~2x the typical ~25 % measured cost, for CI
+#: noise) says it must stay a modest fraction of the step loop itself.
+MAX_ALERTING_OVERHEAD_PCT = 50.0
+
+#: Timing rounds; a multiple of 4 so the rotating mode order puts every
 #: mode in every position equally often. The per-mode minimum is
 #: reported (least-noise estimator).
-REPEATS = 6
+REPEATS = 8
 
 
 def _step_loop_seconds(dt_s: float = 120.0) -> float:
@@ -84,22 +97,53 @@ def measure() -> dict:
             REGISTRY.enabled = False
             REGISTRY.reset()
 
+    def _alerting() -> float:
+        BUS.clear_sinks()
+        memory.clear()
+        BUS.add_sink(memory)
+        model = FleetHealthModel()
+        BUS.add_sink(model)
+        REGISTRY.enabled = True
+        for rule in default_rules():
+            ALERTS.add_rule(rule)
+        ALERTS.enabled = True
+        try:
+            return _step_loop_seconds()
+        finally:
+            BUS.remove_sink(model)
+            BUS.remove_sink(memory)
+            REGISTRY.enabled = False
+            REGISTRY.reset()
+            ALERTS.enabled = False
+            ALERTS.reset()
+            ALERTS.rules.clear()
+
     _step_loop_seconds()  # warm-up: imports, numpy, allocator caches
-    modes = [("disabled", _disabled), ("null", _null), ("full", _full)]
+    modes = [
+        ("disabled", _disabled),
+        ("null", _null),
+        ("full", _full),
+        ("alerting", _alerting),
+    ]
     best = {name: float("inf") for name, _ in modes}
+    n_modes = len(modes)
     for round_no in range(REPEATS):
         # Rotate the order each round so position bias (CPU frequency
         # ramps, allocator pressure from the previous mode) cancels.
-        for name, fn in modes[round_no % 3:] + modes[: round_no % 3]:
+        shift = round_no % n_modes
+        for name, fn in modes[shift:] + modes[:shift]:
             best[name] = min(best[name], fn())
 
     disabled_s, null_s, full_s = best["disabled"], best["null"], best["full"]
+    alerting_s = best["alerting"]
     return {
         "disabled_s": disabled_s,
         "null_s": null_s,
         "full_s": full_s,
+        "alerting_s": alerting_s,
         "null_overhead_pct": 100.0 * (null_s - disabled_s) / disabled_s,
         "full_overhead_pct": 100.0 * (full_s - disabled_s) / disabled_s,
+        "alerting_overhead_pct": 100.0 * (alerting_s - disabled_s) / disabled_s,
         "n_events_full": len(memory),
     }
 
@@ -113,6 +157,8 @@ def report(results: dict) -> str:
             f"full tracing  : {results['full_s'] * 1e3:8.2f} ms/run "
             f"({results['full_overhead_pct']:+.2f} %, "
             f"{results['n_events_full']} events)",
+            f"alerting      : {results['alerting_s'] * 1e3:8.2f} ms/run "
+            f"({results['alerting_overhead_pct']:+.2f} %)",
         ]
     )
 
@@ -125,6 +171,10 @@ def test_obs_overhead_null_sink():
         f"null-sink overhead {results['null_overhead_pct']:.2f} % exceeds "
         f"{MAX_NULL_OVERHEAD_PCT} %"
     )
+    assert results["alerting_overhead_pct"] < MAX_ALERTING_OVERHEAD_PCT, (
+        f"alerting overhead {results['alerting_overhead_pct']:.2f} % exceeds "
+        f"{MAX_ALERTING_OVERHEAD_PCT} %"
+    )
 
 
 def main() -> int:
@@ -135,7 +185,12 @@ def main() -> int:
         f"null-sink overhead {'within' if ok else 'EXCEEDS'} "
         f"{MAX_NULL_OVERHEAD_PCT} % budget"
     )
-    return 0 if ok else 1
+    ok_alerting = results["alerting_overhead_pct"] < MAX_ALERTING_OVERHEAD_PCT
+    print(
+        f"alerting overhead {'within' if ok_alerting else 'EXCEEDS'} "
+        f"{MAX_ALERTING_OVERHEAD_PCT} % budget"
+    )
+    return 0 if ok and ok_alerting else 1
 
 
 if __name__ == "__main__":

@@ -1,16 +1,18 @@
 #!/usr/bin/env python3
-"""Fleet health monitoring: online lifetime prediction and architecture
-choice.
+"""Fleet health monitoring with the obs-layer health model.
 
 Two operator questions this example answers with the library:
 
-1. *When will each battery die?* — runs a two-week mixed-weather campaign
-   and feeds each battery's live logs to the blended lifetime predictor
-   (constant-Ah-throughput + damage extrapolation), printing a per-node
-   health dashboard like the prototype's LabVIEW display.
+1. *How is each battery aging, and why?* — runs a two-week mixed-weather
+   campaign with a :class:`~repro.obs.health.FleetHealthModel` attached
+   to the event bus. The model decomposes every battery's weighted aging
+   score (Eq. 6) into its five constituent metrics, tracks aging speed
+   against the fleet median, projects EOL, and re-derives alerts — the
+   same report ``repro health`` prints, here driven live. The blended
+   lifetime predictor columns cross-check the model's EOL projection.
 2. *Per-server batteries or a shared rack pool?* — repeats the campaign
-   under the Open-Rack shared-pool architecture and compares aging spread
-   (the paper's Fig. 7 / Table 1 architecture trade-off).
+   under the Open-Rack shared-pool architecture and compares aging
+   spread (the paper's Fig. 7 / Table 1 architecture trade-off).
 
 Run:  python examples/fleet_health_monitor.py  (takes ~30 s)
 """
@@ -20,62 +22,80 @@ from dataclasses import replace
 from repro import Scenario, Simulation, make_policy
 from repro.analysis.prediction import LifetimePredictor
 from repro.analysis.reporting import format_table
-from repro.solar.weather import WeatherModel
+from repro.obs import BUS
+from repro.obs.alerts import AlertEngine, default_rules
+from repro.obs.health import FleetHealthModel
 from repro.rng import spawn
+from repro.solar.weather import WeatherModel
 
 
-def run_campaign(scenario, label):
+def run_monitored_campaign(scenario):
+    """Run 14 mixed-weather days with a health model on the bus."""
     weather = WeatherModel(sunshine_fraction=0.45)
     classes = weather.sample_days(14, spawn(scenario.seed, "monitor/days"))
     trace = scenario.trace_generator().days(classes)
-    sim = Simulation(scenario, make_policy("baat"), trace)
-    result = sim.run()
-    return sim, result, trace
+
+    engine = AlertEngine(default_rules())
+    engine.enabled = True
+    model = FleetHealthModel(alert_engine=engine)
+    BUS.add_sink(model)
+    try:
+        sim = Simulation(scenario, make_policy("baat"), trace)
+        result = sim.run()
+    finally:
+        BUS.remove_sink(model)
+    model.finalize()
+    return sim, result, trace, model
 
 
 def main() -> None:
     scenario = Scenario(dt_s=120.0)
-    sim, result, trace = run_campaign(scenario, "per-server")
-    predictor = LifetimePredictor()
+    sim, result, trace, model = run_monitored_campaign(scenario)
 
+    # The operator view: per-battery metric attribution, score
+    # decomposition, aging speed vs the fleet, EOL projection, alerts.
+    print(model.report().to_text())
+
+    # Cross-check the health model's EOL projection against the blended
+    # lifetime predictor (throughput + damage extrapolation).
+    predictor = LifetimePredictor()
+    run = model.runs[0]
     rows = []
     for node in sim.cluster:
-        battery = node.battery
-        prediction = predictor.predict(battery, elapsed_s=trace.duration_s)
-        m = node.tracker.lifetime()
+        prediction = predictor.predict(node.battery, elapsed_s=trace.duration_s)
+        health = run.batteries[node.name]
         rows.append(
             (
                 node.name,
-                battery.capacity_fade * 100.0,
-                battery.soc,
-                m.nat * 1000.0,
+                node.battery.capacity_fade * 100.0,
+                health.eol_projection_days(),
                 prediction.by_throughput_days,
                 prediction.by_damage_days,
                 prediction.remaining_days,
                 prediction.agreement,
             )
         )
+    print()
     print(
         format_table(
             (
                 "node",
                 "fade %",
-                "SoC",
-                "NAT x1e-3",
+                "health EOL (d)",
                 "Tput model (d)",
                 "damage model (d)",
                 "blended (d)",
                 "agreement",
             ),
             rows,
-            title="Battery health dashboard after a 2-week campaign (BAAT)",
+            title="EOL cross-check: health model vs lifetime predictor",
             float_fmt="{:.2f}",
         )
     )
 
     # Architecture comparison.
-    rack_sim, rack_result, _ = run_campaign(
-        replace(scenario, architecture="rack-pool"), "rack-pool"
+    _, rack_result, _, _ = run_monitored_campaign(
+        replace(scenario, architecture="rack-pool")
     )
 
     def spread(result):

@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.campaign.cache import ResultCache, default_cache
 from repro.campaign.spec import RunSpec
 from repro.errors import ConfigurationError, SimulationError
-from repro.obs import BUS, REGISTRY
+from repro.obs import ALERTS, BUS, REGISTRY
 from repro.obs.events import (
     CellCacheHitEvent,
     CellFinishEvent,
@@ -287,6 +287,15 @@ def run_campaign(
         pending.append((i, spec, key))
     if REGISTRY.enabled and pending:
         REGISTRY.counter("campaign/cache_misses").inc(len(pending))
+    if ALERTS.enabled and len(specs) >= 4:
+        # A near-zero hit rate across a sizeable campaign usually means a
+        # source fingerprint drifted and the whole cache silently expired.
+        ALERTS.observe(
+            "cache_miss_storm",
+            "campaign",
+            len(pending) / len(specs),
+            time.perf_counter() - t0,
+        )
 
     # Phase 2: execute misses (pool or inline).
     fresh: List[Tuple[int, RunSpec, Optional[str], Optional[SimResult], int, Tuple[str, ...], float]] = []

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands mirror how the prototype was operated:
+The subcommands mirror how the prototype was operated:
 
 - ``repro experiments`` — list the paper figures this repo regenerates;
 - ``repro run <exp>`` — regenerate one figure's table (``--full`` for the
@@ -11,14 +11,22 @@ Seven subcommands mirror how the prototype was operated:
   the parallel, cached campaign runner;
 - ``repro cache`` — inspect or clear the on-disk result cache;
 - ``repro trace <file>`` — inspect a trace JSONL written by ``--trace``;
+- ``repro trace diff <a> <b>`` — event-count and per-battery aging
+  deltas between two traces (policy comparison, instrumentation drift);
 - ``repro stats`` — run one instrumented simulation and print the metric
-  registry: step-phase timings, action counters, gauges.
+  registry: step-phase timings, action counters, gauges;
+- ``repro health`` — per-battery aging attribution, alerts, and EOL
+  projections from a trace file or a live instrumented run;
+- ``repro export`` — run one instrumented simulation and export the
+  metric registry (OpenMetrics/Prometheus text format or CSV).
 
 Every simulation-running subcommand accepts ``--workers N`` (process
-fan-out), ``--no-cache`` (force fresh runs), ``--cache-dir``, and
+fan-out), ``--no-cache`` (force fresh runs), ``--cache-dir``,
 ``--trace FILE`` (stream structured telemetry events to a JSONL file —
 engine events are captured from in-process runs, so use ``--workers 1``,
-the default, for full control-loop traces).
+the default, for full control-loop traces), and ``--profile [FILE]``
+(cProfile the command; hot functions print next to the step-phase
+timers, or dump to FILE for snakeviz-style tooling).
 
 Usage::
 
@@ -28,7 +36,11 @@ Usage::
     python -m repro compare --day rainy --fade 0.1 --days 2
     python -m repro campaign --policies e-buff,baat --days 3 --workers 4
     python -m repro trace out.jsonl --kind vm_migrated
+    python -m repro trace diff baseline.jsonl candidate.jsonl
     python -m repro stats --policy baat-planned --day rainy --days 2
+    python -m repro health out.jsonl
+    python -m repro health --policy baat --day rainy --days 2
+    python -m repro export --format openmetrics --out metrics.prom
     python -m repro cache info
 """
 
@@ -137,6 +149,15 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--trace", default=None, metavar="FILE",
         help="write structured telemetry events (JSONL) to FILE",
     )
+    _add_profile_flag(parser)
+
+
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="FILE",
+        help="cProfile the command; print hot functions (or dump stats "
+        "to FILE) alongside the step-phase timers",
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -239,7 +260,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Inspect a trace JSONL file: filter, print, and summarise events."""
+    """Inspect one trace JSONL file, or diff two (``trace diff A B``)."""
+    tokens: List[str] = args.args
+    if tokens[0] == "diff":
+        if len(tokens) != 3:
+            raise SystemExit("usage: repro trace diff A.jsonl B.jsonl")
+        return _trace_diff(tokens[1], tokens[2])
+    if len(tokens) != 1:
+        raise SystemExit(
+            "usage: repro trace FILE [--kind K] [--node N] [--limit N]\n"
+            "       repro trace diff A.jsonl B.jsonl"
+        )
+    args.file = tokens[0]
     kinds: _Counter = _Counter()
     nodes: _Counter = _Counter()
     printed = 0
@@ -280,15 +312,173 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_stats(args: argparse.Namespace) -> int:
-    """Run one instrumented simulation and print the metric registry."""
-    from repro.sim.engine import Simulation
+def _load_trace_model(path: str):
+    """Event-kind counts plus a finalized health model for one trace."""
+    from repro.obs.health import FleetHealthModel
 
+    kinds: _Counter = _Counter()
+    model = FleetHealthModel()
+    try:
+        for event in iter_events(path, strict=False):
+            kinds[event.kind] += 1
+            model.emit(event)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {path}")
+    except ValueError as exc:
+        raise SystemExit(f"malformed trace line in {path}: {exc}")
+    model.finalize()
+    return kinds, model
+
+
+def _trace_diff(path_a: str, path_b: str) -> int:
+    """Compare two traces: event counts, per-battery aging, alerts."""
+    kinds_a, model_a = _load_trace_model(path_a)
+    kinds_b, model_b = _load_trace_model(path_b)
+    print(f"A = {path_a}\nB = {path_b}\n")
+    rows = [
+        (kind, kinds_a.get(kind, 0), kinds_b.get(kind, 0),
+         kinds_b.get(kind, 0) - kinds_a.get(kind, 0))
+        for kind in sorted(set(kinds_a) | set(kinds_b))
+    ]
+    if not rows:
+        print("(both traces are empty)")
+        return 0
+    print(format_table(("event kind", "A", "B", "B-A"), rows,
+                       title="event counts"))
+    for run_a, run_b in zip(model_a.runs, model_b.runs):
+        names = sorted(set(run_a.batteries) | set(run_b.batteries))
+        if not names:
+            continue
+        weights = model_a.weights
+        metric_rows = []
+        for name in names:
+            in_a = name in run_a.batteries
+            in_b = name in run_b.batteries
+            score_a = (
+                run_a.batteries[name].breakdown(weights).score if in_a else 0.0
+            )
+            score_b = (
+                run_b.batteries[name].breakdown(weights).score if in_b else 0.0
+            )
+            m_a = run_a.batteries[name].metrics() if in_a else None
+            m_b = run_b.batteries[name].metrics() if in_b else None
+
+            def delta(field):
+                a = getattr(m_a, field) if m_a is not None else 0.0
+                b = getattr(m_b, field) if m_b is not None else 0.0
+                return b - a
+
+            metric_rows.append(
+                (
+                    name,
+                    score_a,
+                    score_b,
+                    score_b - score_a,
+                    delta("nat") * 1000.0,
+                    delta("pc"),
+                    delta("ddt"),
+                    delta("dr_mean"),
+                )
+            )
+        print()
+        print(format_table(
+            ("battery", "score A", "score B", "dscore",
+             "dNAT x1e-3", "dPC", "dDDT", "dDR"),
+            metric_rows,
+            title=f"[{run_a.label} vs {run_b.label}] per-battery aging",
+        ))
+    if len(model_a.runs) != len(model_b.runs):
+        print(
+            f"\nnote: A has {len(model_a.runs)} run(s), B has "
+            f"{len(model_b.runs)}; extra runs are not compared"
+        )
+    alerts_a = sum(len(r.alerts) for r in model_a.runs)
+    alerts_b = sum(len(r.alerts) for r in model_b.runs)
+    print(f"\nalert events: A {alerts_a}, B {alerts_b}")
+    return 0
+
+
+def _live_sim_inputs(args: argparse.Namespace):
+    """Shared scenario/trace/policy construction for stats-like commands."""
     day = DayClass(args.day)
     scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
     trace = scenario.trace_generator().days([day] * args.days)
     spec = RunSpec(scenario=scenario, trace=trace, policy=args.policy)
+    return day, scenario, trace, spec
 
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Fleet health report from a trace file or a live instrumented run."""
+    from repro.obs.alerts import AlertEngine, default_rules
+    from repro.obs.health import FleetHealthModel
+
+    if args.source:
+        # Replay mode: a private engine re-derives day-window alerts from
+        # the stream without touching the process-wide BUS/ALERTS.
+        engine = AlertEngine(default_rules())
+        engine.enabled = True
+        try:
+            model = FleetHealthModel.from_trace(args.source, alert_engine=engine)
+        except FileNotFoundError:
+            raise SystemExit(f"no such trace file: {args.source}")
+        except ValueError as exc:
+            raise SystemExit(f"malformed trace line in {args.source}: {exc}")
+        print(model.report().to_text())
+        return 0
+
+    from repro.sim.engine import Simulation
+
+    day, scenario, trace, spec = _live_sim_inputs(args)
+    REGISTRY.reset()
+    enable_observability(args.trace)
+    model = FleetHealthModel()
+    BUS.add_sink(model)
+    try:
+        Simulation(scenario, spec.build_policy(), trace).run()
+        model.finalize()
+        print(
+            f"{args.policy} on {args.days} x {day.value} day(s), "
+            f"fade {args.fade:.0%}, dt {args.dt:.0f}s\n"
+        )
+        print(model.report().to_text())
+    finally:
+        BUS.remove_sink(model)
+        disable_observability()
+        REGISTRY.reset()
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Run one instrumented simulation and export the metric registry."""
+    from repro.obs.export import to_csv_snapshot, to_openmetrics
+    from repro.sim.engine import Simulation
+
+    day, scenario, trace, spec = _live_sim_inputs(args)
+    REGISTRY.reset()
+    enable_observability(args.trace)
+    try:
+        Simulation(scenario, spec.build_policy(), trace).run()
+        if args.format == "openmetrics":
+            text = to_openmetrics(REGISTRY)
+        else:
+            text = to_csv_snapshot(REGISTRY)
+    finally:
+        disable_observability()
+        REGISTRY.reset()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} export to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run one instrumented simulation and print the metric registry."""
+    from repro.sim.engine import Simulation
+
+    day, scenario, trace, spec = _live_sim_inputs(args)
     REGISTRY.reset()
     enable_observability(args.trace)
     try:
@@ -411,9 +601,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the result-cache directory")
 
     trace = sub.add_parser(
-        "trace", help="inspect a telemetry JSONL file written by --trace"
+        "trace",
+        help="inspect a telemetry JSONL file written by --trace, or "
+        "'trace diff A B' to compare two",
     )
-    trace.add_argument("file", help="trace JSONL path")
+    trace.add_argument(
+        "args", nargs="+", metavar="FILE | diff A B",
+        help="trace JSONL path, or: diff A.jsonl B.jsonl",
+    )
     trace.add_argument("--kind", default=None,
                        help="print only events of this kind")
     trace.add_argument("--node", default=None,
@@ -436,12 +631,60 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=DEFAULT_SEED)
     stats.add_argument("--trace", default=None, metavar="FILE",
                        help="also write the event stream to FILE (JSONL)")
+    _add_profile_flag(stats)
+
+    health = sub.add_parser(
+        "health",
+        help="per-battery aging attribution, alerts, and EOL projections",
+    )
+    health.add_argument(
+        "source", nargs="?", default=None, metavar="TRACE",
+        help="trace JSONL to replay; omit to run a live instrumented "
+        "simulation instead",
+    )
+    health.add_argument("--policy", default="baat",
+                        help="scheme for the live run (default baat)")
+    health.add_argument("--day", choices=[d.value for d in DayClass],
+                        default="cloudy")
+    health.add_argument("--days", type=int, default=1)
+    health.add_argument("--fade", type=float, default=0.0,
+                        help="initial battery fade (0.10 = 'old')")
+    health.add_argument("--dt", type=float, default=120.0)
+    health.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    health.add_argument("--trace", default=None, metavar="FILE",
+                        help="also write the live run's events to FILE (JSONL)")
+    _add_profile_flag(health)
+
+    export = sub.add_parser(
+        "export",
+        help="run one instrumented simulation and export the metric registry",
+    )
+    export.add_argument("--format", choices=("openmetrics", "csv"),
+                        default="openmetrics")
+    export.add_argument("--out", default=None, metavar="FILE",
+                        help="write the export to FILE (default: stdout)")
+    export.add_argument("--policy", default="baat",
+                        help="scheme to run (default baat)")
+    export.add_argument("--day", choices=[d.value for d in DayClass],
+                        default="cloudy")
+    export.add_argument("--days", type=int, default=1)
+    export.add_argument("--fade", type=float, default=0.0,
+                        help="initial battery fade (0.10 = 'old')")
+    export.add_argument("--dt", type=float, default=120.0)
+    export.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    export.add_argument("--trace", default=None, metavar="FILE",
+                        help="also write the event stream to FILE (JSONL)")
+    _add_profile_flag(export)
 
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+#: Subcommands that manage their own observability lifecycle (so the
+#: ``--trace`` plumbing in :func:`main` must not double-enable it).
+_SELF_INSTRUMENTED = ("stats", "health", "export")
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     handlers = {
         "experiments": cmd_experiments,
         "run": cmd_run,
@@ -450,11 +693,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cache": cmd_cache,
         "trace": cmd_trace,
         "stats": cmd_stats,
+        "health": cmd_health,
+        "export": cmd_export,
     }
     # --trace on run/compare/campaign: attach a JSONL sink (and enable the
-    # metric registry) for the duration of the command. `stats` manages
-    # its own sink so it can also print the in-memory event summary.
-    trace_path = getattr(args, "trace", None) if args.command != "stats" else None
+    # metric registry) for the duration of the command. stats/health/export
+    # manage their own sinks so they can also use the in-memory stream.
+    trace_path = (
+        getattr(args, "trace", None)
+        if args.command not in _SELF_INSTRUMENTED
+        else None
+    )
     if trace_path is None:
         return handlers[args.command](args)
     sink = enable_observability(trace_path)
@@ -464,6 +713,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n_events = sink.n_written if sink is not None else 0
         disable_observability()
         print(f"\n  wrote {n_events} telemetry event(s) to {trace_path}")
+
+
+def _print_profile(profiler, target: str) -> None:
+    """Render the cProfile result: dump to a file or print hot functions.
+
+    The printed view complements the registry's step-phase timers: the
+    timers say *which phase* is slow, the profile says *which function*.
+    """
+    import pstats
+
+    profiler.disable()
+    if target:
+        profiler.dump_stats(target)
+        print(f"\n  profile written to {target}")
+        return
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    print("\nprofile (top 15 by cumulative time):")
+    stats.sort_stats("cumulative").print_stats(15)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    profile_target = getattr(args, "profile", None)
+    try:
+        if profile_target is None:
+            return _dispatch(args)
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _dispatch(args)
+        finally:
+            try:
+                _print_profile(profiler, profile_target)
+            except BrokenPipeError:
+                pass
+    except BrokenPipeError:  # piped into head/less that closed early
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

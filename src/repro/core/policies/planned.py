@@ -18,7 +18,7 @@ from typing import Dict, Optional
 from repro.core.planner import PlannedAgingManager
 from repro.core.policies.baat import BAATPolicy
 from repro.core.slowdown import SlowdownConfig
-from repro.obs import BUS, REGISTRY
+from repro.obs import ALERTS, BUS, REGISTRY
 from repro.obs.events import DoDGoalEvent
 
 
@@ -94,6 +94,8 @@ class PlannedAgingPolicy(BAATPolicy):
                 )
             if REGISTRY.enabled:
                 REGISTRY.gauge(f"planned/dod_goal/{node.name}").set(goal)
+            if ALERTS.enabled:
+                ALERTS.observe("dod_goal_saturated", node.name, goal, t)
 
     def current_goals(self) -> Dict[str, float]:
         """Present DoD goal per node (for logging/benches)."""

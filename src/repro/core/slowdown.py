@@ -29,7 +29,7 @@ from repro.core.scheduler import AgingHidingScheduler
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.node import Node
 from repro.errors import ConfigurationError, MigrationError
-from repro.obs import BUS, REGISTRY
+from repro.obs import ALERTS, BUS, REGISTRY
 from repro.obs.events import (
     DvfsCapEvent,
     DvfsUncapEvent,
@@ -196,12 +196,33 @@ class SlowdownMonitor:
           is dangerous at 35 %.
         """
         battery = node.battery
-        if battery.soc >= self.low_soc_threshold(node):
+        below = battery.soc < self.low_soc_threshold(node)
+        alerting = ALERTS.enabled
+        if not below and not alerting:
             return False
         ddt = self.controller.window_metrics(node).ddt
+        reserve = reserve_seconds(battery, current_draw_w)
+        if alerting:
+            # Feed the watched values even when healthy, so active alerts
+            # can observe their hysteresis release.
+            ALERTS.observe(
+                "ddt_window_breach",
+                node.name,
+                ddt,
+                self._last_t,
+                threshold=self.config.ddt_threshold,
+            )
+            ALERTS.observe(
+                "dr_reserve_exhaustion",
+                node.name,
+                reserve,
+                self._last_t,
+                threshold=self.config.reserve_seconds_threshold,
+            )
+        if not below:
+            return False
         if ddt > self.config.ddt_threshold:
             return True
-        reserve = reserve_seconds(battery, current_draw_w)
         if reserve < self.config.reserve_seconds_threshold:
             return True
         return current_draw_w > self._ration_w(node, self._last_t)
@@ -391,6 +412,14 @@ class SlowdownMonitor:
             if not node.is_up or node.server.policy_off:
                 continue
             draw = node_draws.get(node.name, 0.0)
+            if ALERTS.enabled:
+                ALERTS.observe(
+                    "soc_floor_violation",
+                    node.name,
+                    node.battery.soc,
+                    t,
+                    threshold=self.protected_floor(node),
+                )
             if self.check(node, draw):
                 action = self.act(node, t)
                 actions.append(f"{node.name}:{action}")

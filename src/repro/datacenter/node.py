@@ -17,6 +17,8 @@ from typing import Optional
 from repro.battery.unit import BatteryUnit
 from repro.datacenter.server import Server
 from repro.metrics.tracker import MetricsTracker
+from repro.obs import BUS
+from repro.obs.events import BatterySampleEvent
 
 
 @dataclass
@@ -60,6 +62,18 @@ class Node:
         """Sample the battery into the metrics tracker (sensor poll)."""
         state = self.battery.sample()
         self.tracker.observe(state.soc, state.current_a, dt)
+        # Publish the identical sample so a trace replay reconstructs the
+        # tracker's aging metrics exactly (JSON floats round-trip).
+        if BUS.enabled:
+            BUS.emit(
+                BatterySampleEvent(
+                    t=BUS.now,
+                    node=self.name,
+                    soc=state.soc,
+                    current_a=state.current_a,
+                    dt=dt,
+                )
+            )
 
     @property
     def is_up(self) -> bool:

@@ -1,4 +1,4 @@
-"""Structured telemetry: event bus, metric registry, phase timers.
+"""Structured telemetry: event bus, metrics, alerts, health, exporters.
 
 The observability substrate every control decision reports through:
 
@@ -8,10 +8,18 @@ The observability substrate every control decision reports through:
 - :data:`REGISTRY` — the process-local
   :class:`~repro.obs.metrics.MetricRegistry` holding counters, gauges,
   and histograms (notably the engine's step-phase timers).
+- :data:`ALERTS` — the process-local
+  :class:`~repro.obs.alerts.AlertEngine`; the slowdown monitor, planned
+  aging, and campaign runner feed it threshold observations, and fired
+  alerts go back onto :data:`BUS` as ``alert`` events.
+- :class:`~repro.obs.health.FleetHealthModel` folds the stream (live or
+  a replayed JSONL trace) into per-battery aging attribution.
+- :mod:`repro.obs.export` serialises the registry (OpenMetrics / CSV).
 
-Both are *disabled* by default, and every instrumented call site guards
-on a single ``enabled`` attribute, so the layer is near-free when off
-(verified by ``benchmarks/bench_obs_overhead.py``).
+All three process-local singletons are *disabled* by default, and every
+instrumented call site guards on a single ``enabled`` attribute, so the
+layer is near-free when off (verified by
+``benchmarks/bench_obs_overhead.py``).
 
 Typical use::
 
@@ -21,17 +29,27 @@ Typical use::
         run_policy_on_trace(scenario, policy, trace)
 
 or, for the CLI's ``--trace`` flag, :func:`enable_observability` /
-:func:`disable_observability` manage a JSONL sink plus the registry in
-one call.
+:func:`disable_observability` manage a JSONL sink plus the registry and
+alert engine in one call.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.alerts import (
+    ALERTS,
+    AlertEngine,
+    AlertRule,
+    default_rules,
+    severity_rank,
+)
 from repro.obs.bus import BUS, TraceBus
 from repro.obs.events import (
     EVENT_TYPES,
+    AlertEvent,
+    BatteryConfigEvent,
+    BatterySampleEvent,
     BrownoutEvent,
     CellCacheHitEvent,
     CellFinishEvent,
@@ -55,15 +73,31 @@ from repro.obs.events import (
     iter_events,
     read_events,
 )
+from repro.obs.export import (
+    PeriodicExportSink,
+    parse_openmetrics,
+    to_csv_snapshot,
+    to_openmetrics,
+    write_export,
+)
+from repro.obs.health import FleetHealthModel, FleetHealthReport
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry, REGISTRY
-from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.sinks import (
+    DEFAULT_MEMORY_SINK_MAXLEN,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+)
 from repro.obs.timers import STEP_PHASES, StepPhaseTimers, time_phase
 
 __all__ = [
     "BUS",
     "REGISTRY",
+    "ALERTS",
     "EVENT_TYPES",
     "STEP_PHASES",
+    "DEFAULT_MEMORY_SINK_MAXLEN",
     "TraceBus",
     "TraceEvent",
     "MetricRegistry",
@@ -76,6 +110,17 @@ __all__ = [
     "JsonlSink",
     "StepPhaseTimers",
     "time_phase",
+    "AlertEngine",
+    "AlertRule",
+    "default_rules",
+    "severity_rank",
+    "FleetHealthModel",
+    "FleetHealthReport",
+    "PeriodicExportSink",
+    "to_openmetrics",
+    "parse_openmetrics",
+    "to_csv_snapshot",
+    "write_export",
     "event_from_dict",
     "iter_events",
     "read_events",
@@ -85,6 +130,9 @@ __all__ = [
     "DayStartEvent",
     "SocCrossingEvent",
     "BrownoutEvent",
+    "BatteryConfigEvent",
+    "BatterySampleEvent",
+    "AlertEvent",
     "VMPlacedEvent",
     "VMMigratedEvent",
     "SlowdownActionEvent",
@@ -105,14 +153,21 @@ _active_jsonl: Optional[JsonlSink] = None
 
 
 def enable_observability(trace_path: Optional[str] = None) -> Optional[JsonlSink]:
-    """Turn the full layer on: metric registry plus an optional JSONL sink.
+    """Turn the full layer on: registry, alert engine, optional JSONL sink.
 
     Returns the attached sink (``None`` when no path was given). The CLI
     uses this behind ``--trace``; call :func:`disable_observability` to
-    tear it back down.
+    tear it back down. The process alert engine gets the standard
+    :func:`~repro.obs.alerts.default_rules` on first enable (rules added
+    beforehand are kept) and publishes onto :data:`BUS`.
     """
     global _active_jsonl
     REGISTRY.enabled = True
+    if not ALERTS.rules:
+        for rule in default_rules():
+            ALERTS.add_rule(rule)
+    ALERTS.bus = BUS
+    ALERTS.enabled = True
     if trace_path is not None:
         _active_jsonl = JsonlSink(trace_path)
         BUS.add_sink(_active_jsonl)
@@ -120,10 +175,12 @@ def enable_observability(trace_path: Optional[str] = None) -> Optional[JsonlSink
 
 
 def disable_observability() -> None:
-    """Detach the managed JSONL sink (if any) and disable the registry."""
+    """Detach the managed JSONL sink (if any) and disable the layer."""
     global _active_jsonl
     if _active_jsonl is not None:
         BUS.remove_sink(_active_jsonl)
         _active_jsonl.close()
         _active_jsonl = None
     REGISTRY.enabled = False
+    ALERTS.enabled = False
+    ALERTS.reset()

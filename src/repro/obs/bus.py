@@ -29,7 +29,13 @@ from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
 from repro.obs.events import TraceEvent
-from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.sinks import (
+    DEFAULT_MEMORY_SINK_MAXLEN,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+)
 
 
 class TraceBus:
@@ -91,8 +97,12 @@ class TraceBus:
     # Scoped helpers
     # ------------------------------------------------------------------
     @contextmanager
-    def capture(self, maxlen: Optional[int] = None) -> Iterator[MemorySink]:
-        """Attach a memory ring for the duration of a ``with`` block."""
+    def capture(
+        self, maxlen: Optional[int] = DEFAULT_MEMORY_SINK_MAXLEN
+    ) -> Iterator[MemorySink]:
+        """Attach a memory ring for the duration of a ``with`` block.
+
+        Bounded by default (``maxlen=None`` opts into unbounded)."""
         sink = MemorySink(maxlen=maxlen)
         self.add_sink(sink)
         try:

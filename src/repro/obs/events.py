@@ -99,6 +99,63 @@ class BrownoutEvent(TraceEvent):
     kind: ClassVar[str] = "brownout"
 
 
+@dataclass
+class BatteryConfigEvent(TraceEvent):
+    """One battery's aging-relevant parameters, emitted once per run.
+
+    Carries exactly what :class:`~repro.metrics.snapshot.AgingMetrics`
+    needs (``CAP_nom`` and the reference rate), so a trace is
+    self-contained for offline metric attribution.
+    """
+
+    node: str = ""
+    lifetime_ah_throughput: float = 0.0
+    reference_current: float = 0.0
+    capacity_ah: float = 0.0
+    cutoff_soc: float = 0.0
+
+    kind: ClassVar[str] = "battery_config"
+
+
+@dataclass
+class BatterySampleEvent(TraceEvent):
+    """One battery sensor poll (Table 2): the exact sample the node's
+    :class:`~repro.metrics.tracker.MetricsTracker` folded.
+
+    Emitted at the tracker's own observation point so an offline replay
+    of a trace reconstructs the per-battery aging metrics bit-for-bit
+    (JSON floats round-trip losslessly through ``repr``).
+    """
+
+    node: str = ""
+    soc: float = 0.0
+    current_a: float = 0.0
+    dt: float = 0.0
+
+    kind: ClassVar[str] = "battery_sample"
+
+
+@dataclass
+class AlertEvent(TraceEvent):
+    """A declarative alert rule fired (or cleared) for a key.
+
+    ``rule`` names the :class:`~repro.obs.alerts.AlertRule`; ``node`` is
+    the rule's key (a node name, or a synthetic key like ``"campaign"``).
+    ``cleared`` marks the hysteresis release of a previously active
+    alert.
+    """
+
+    rule: str = ""
+    node: str = ""
+    severity: str = "warning"
+    value: float = 0.0
+    threshold: float = 0.0
+    cleared: bool = False
+    message: str = ""
+
+    kind: ClassVar[str] = "alert"
+
+
 # ----------------------------------------------------------------------
 # Placement / migration (cluster level)
 # ----------------------------------------------------------------------

@@ -1,0 +1,223 @@
+"""Metric exporters: OpenMetrics/Prometheus text format and CSV.
+
+The :class:`~repro.obs.metrics.MetricRegistry` is a process-local store;
+these functions serialise it for the outside world:
+
+- :func:`to_openmetrics` renders the registry in the OpenMetrics text
+  exposition format (the `Prometheus scrape format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_), so
+  a simulated datacenter's telemetry drops straight into the dashboards
+  a production fleet would use. :func:`parse_openmetrics` reads it back
+  (round-trip tested).
+- :func:`to_csv_snapshot` flattens the same snapshot into two-column CSV
+  for spreadsheet-grade analysis.
+- :class:`PeriodicExportSink` is an :class:`~repro.obs.sinks.EventSink`
+  that rewrites an export file every ``interval_s`` of *simulation*
+  time, driven by the event stream's timestamps — the moral equivalent
+  of a scrape endpoint for a batch simulator.
+
+Histograms are bucket-free summaries, so they export as the
+``_count``/``_sum`` pair OpenMetrics defines plus ``_min``/``_max``
+gauges (a common pattern for summary-style metrics).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import MetricRegistry
+from repro.obs.sinks import EventSink
+
+#: OpenMetrics metric names: letters, digits, underscores, colons; the
+#: registry's dotted names (``engine.step.place``) map onto this.
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry metric name onto the OpenMetrics charset."""
+    out = _NAME_FIX.sub("_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def to_openmetrics(registry: MetricRegistry, prefix: str = "repro") -> str:
+    """Render a registry snapshot in OpenMetrics text format.
+
+    Counters get the mandated ``_total`` sample suffix, gauges export
+    verbatim, histograms as ``_count``/``_sum`` plus ``_min``/``_max``
+    gauges. Ends with the required ``# EOF`` marker.
+    """
+    snap = registry.snapshot()
+    lines = []
+    for name, value in snap["counters"].items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {value!r}")
+    for name, value in snap["gauges"].items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value!r}")
+    for name, hist in snap["histograms"].items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {hist['count']!r}")
+        lines.append(f"{metric}_sum {hist['total']!r}")
+        lines.append(f"# TYPE {metric}_min gauge")
+        lines.append(f"{metric}_min {hist['min']!r}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {hist['max']!r}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse :func:`to_openmetrics` output back into typed value maps.
+
+    Returns ``{"counter": {...}, "gauge": {...}, "summary": {...}}``
+    keyed by the *exported* metric name (prefix included, ``_total`` and
+    summary suffixes stripped). Summaries map to their
+    ``count``/``sum``/``min``/``max`` fields. Only the subset of the
+    format :func:`to_openmetrics` emits is supported.
+    """
+    types: Dict[str, str] = {}
+    out: Dict[str, Dict[str, float]] = {"counter": {}, "gauge": {}, "summary": {}}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            metric, _, mtype = rest.partition(" ")
+            types[metric] = mtype
+            continue
+        if line.startswith("#"):
+            continue
+        name, _, value_str = line.rpartition(" ")
+        if not name:
+            raise ConfigurationError(f"malformed OpenMetrics line: {line!r}")
+        value = float(value_str)
+        base, suffix = name, ""
+        for candidate in ("_total", "_count", "_sum", "_min", "_max"):
+            if name.endswith(candidate):
+                base, suffix = name[: -len(candidate)], candidate
+                break
+        if types.get(base) == "counter" and suffix == "_total":
+            out["counter"][base] = value
+        elif types.get(base) == "summary" and suffix in ("_count", "_sum"):
+            field = "count" if suffix == "_count" else "sum"
+            out["summary"].setdefault(base, {})[field] = value
+        elif types.get(base) == "summary" and suffix in ("_min", "_max"):
+            out["summary"].setdefault(base, {})[suffix.lstrip("_")] = value
+        elif types.get(name) == "gauge":
+            out["gauge"][name] = value
+        elif types.get(base) == "gauge" and suffix:
+            # A summary's _min/_max arrive typed as gauges on base+suffix.
+            out["gauge"][name] = value
+        else:
+            raise ConfigurationError(f"untyped OpenMetrics sample: {line!r}")
+    # Fold stray summary _min/_max gauges back under their summary.
+    for name in list(out["gauge"]):
+        for candidate in ("_min", "_max"):
+            if name.endswith(candidate) and name[: -len(candidate)] in out["summary"]:
+                out["summary"][name[: -len(candidate)]][candidate.lstrip("_")] = (
+                    out["gauge"].pop(name)
+                )
+    return out
+
+
+def to_csv_snapshot(registry: MetricRegistry) -> str:
+    """Flatten a registry snapshot to ``metric,field,value`` CSV rows."""
+    snap = registry.snapshot()
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["metric", "field", "value"])
+    for name, value in snap["counters"].items():
+        writer.writerow([name, "count", repr(value)])
+    for name, value in snap["gauges"].items():
+        writer.writerow([name, "value", repr(value)])
+    for name, hist in snap["histograms"].items():
+        for field in ("count", "total", "mean", "min", "max"):
+            writer.writerow([name, field, repr(hist[field])])
+    return buf.getvalue()
+
+
+#: format name -> renderer, for the CLI and the periodic sink.
+EXPORT_FORMATS = {
+    "openmetrics": to_openmetrics,
+    "csv": lambda registry, prefix="repro": to_csv_snapshot(registry),
+}
+
+
+def write_export(
+    registry: MetricRegistry,
+    path: str,
+    fmt: str = "openmetrics",
+    prefix: str = "repro",
+) -> str:
+    """Serialise the registry to ``path``; returns the rendered text."""
+    try:
+        render = EXPORT_FORMATS[fmt]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown export format {fmt!r}; choose from {sorted(EXPORT_FORMATS)}"
+        ) from None
+    text = render(registry, prefix=prefix)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text
+
+
+class PeriodicExportSink(EventSink):
+    """Rewrites a metrics export every ``interval_s`` of event time.
+
+    Attach next to a JSONL sink (or alone) and the export file tracks
+    the run as it progresses — each rewrite is a full snapshot, so the
+    file is always a valid scrape. A final export happens on
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        path: str,
+        interval_s: float = 3600.0,
+        fmt: str = "openmetrics",
+        prefix: str = "repro",
+    ) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        if fmt not in EXPORT_FORMATS:
+            raise ConfigurationError(
+                f"unknown export format {fmt!r}; choose from {sorted(EXPORT_FORMATS)}"
+            )
+        self.registry = registry
+        self.path = path
+        self.interval_s = interval_s
+        self.fmt = fmt
+        self.prefix = prefix
+        self.n_exports = 0
+        self._next_t: Optional[float] = None
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._next_t is None:
+            self._next_t = event.t + self.interval_s
+            return
+        if event.t >= self._next_t:
+            self._write()
+            # Catch up past idle gaps without a burst of rewrites.
+            while self._next_t <= event.t:
+                self._next_t += self.interval_s
+
+    def _write(self) -> None:
+        write_export(self.registry, self.path, fmt=self.fmt, prefix=self.prefix)
+        self.n_exports += 1
+
+    def close(self) -> None:
+        self._write()

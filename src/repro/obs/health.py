@@ -1,0 +1,446 @@
+"""Fleet health: per-battery aging attribution from the event stream.
+
+The paper's prototype surfaced battery state on a LabVIEW display; this
+module is that operator view for the simulator. A
+:class:`FleetHealthModel` is an :class:`~repro.obs.sinks.EventSink`: it
+consumes the telemetry stream — live (attached to the bus during a run)
+or replayed from a JSONL trace — and maintains, per battery:
+
+- the five aging metrics (NAT, CF, PC, DDT, DR) rebuilt from the exact
+  sensor samples the node's :class:`~repro.metrics.tracker.
+  MetricsTracker` folded (``battery_sample`` events carry them
+  losslessly), so attribution agrees with the in-engine tracker;
+- the Eq.-6 weighted aging score decomposed into its three weighted
+  terms, so an operator can see *which* metric drives a bad score;
+- aging speed — the per-day score — tracked against the fleet median,
+  feeding the ``aging_speed_regression`` fleet alert rule;
+- an EOL projection (days until NAT reaches 1 at the observed rate) and
+  its drift versus the planned-aging DoD goal (Eq. 7) when the run
+  published ``dod_goal`` events.
+
+Multiple runs in one trace (a serial campaign) are kept separate: each
+``run_start`` event opens a new :class:`RunHealth` scope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.accumulator import MetricsAccumulator
+from repro.metrics.snapshot import AgingMetrics
+from repro.metrics.weighted import (
+    EQUAL_WEIGHTS,
+    NAT_SCORE_SCALE,
+    MetricWeights,
+    node_aging_score,
+)
+from repro.obs.alerts import AlertEngine
+from repro.obs.events import TraceEvent
+from repro.obs.sinks import EventSink
+from repro.units import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """The per-battery constants metric attribution needs.
+
+    Defaults mirror :class:`~repro.battery.params.BatteryParams` (the
+    paper's 12 V / 35 Ah block) for traces predating ``battery_config``
+    events.
+    """
+
+    lifetime_ah_throughput: float = 380.0 * 35.0
+    reference_current: float = 35.0 / 20.0
+    capacity_ah: float = 35.0
+    cutoff_soc: float = 0.12
+
+
+@dataclass
+class ScoreBreakdown:
+    """Eq.-6 score with its three weighted contributions."""
+
+    score: float
+    nat_term: float
+    cf_term: float
+    pc_term: float
+
+
+@dataclass
+class BatteryHealth:
+    """Rolling health state for one battery within one run."""
+
+    node: str
+    config: BatteryConfig = field(default_factory=BatteryConfig)
+    acc: MetricsAccumulator = field(default_factory=MetricsAccumulator)
+    day_mark: MetricsAccumulator = field(default_factory=MetricsAccumulator)
+    #: Per-closed-day weighted aging score (the aging *speed* series).
+    day_scores: List[float] = field(default_factory=list)
+    dod_goal: Optional[float] = None
+    n_samples: int = 0
+    last_soc: float = 1.0
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> AgingMetrics:
+        """Lifetime five-metric snapshot (matches the engine tracker)."""
+        return AgingMetrics.from_accumulator(
+            self.acc,
+            lifetime_ah_throughput=self.config.lifetime_ah_throughput,
+            reference_current=self.config.reference_current,
+        )
+
+    def window_metrics(self) -> AgingMetrics:
+        """Metrics since the last closed day boundary."""
+        return AgingMetrics.from_accumulator(
+            self.acc - self.day_mark,
+            lifetime_ah_throughput=self.config.lifetime_ah_throughput,
+            reference_current=self.config.reference_current,
+        )
+
+    def breakdown(self, weights: MetricWeights) -> ScoreBreakdown:
+        """Decompose the lifetime Eq.-6 score into its weighted terms."""
+        m = self.metrics()
+        nat_term = weights.nat * min(1.0, m.nat * NAT_SCORE_SCALE)
+        cf_term = weights.cf * (0.0 if math.isinf(m.cf) else m.cf_deficit)
+        pc_term = weights.pc * m.pc
+        return ScoreBreakdown(
+            score=node_aging_score(m, weights),
+            nat_term=nat_term,
+            cf_term=cf_term,
+            pc_term=pc_term,
+        )
+
+    def aging_speed(self) -> float:
+        """Mean per-day weighted aging score (score units per day)."""
+        if not self.day_scores:
+            return 0.0
+        return sum(self.day_scores) / len(self.day_scores)
+
+    def elapsed_days(self) -> float:
+        return self.acc.total_time_s / SECONDS_PER_DAY
+
+    def eol_projection_days(self) -> float:
+        """Days until NAT reaches 1 at the observed discharge rate."""
+        days = self.elapsed_days()
+        if days <= 0:
+            return math.inf
+        nat = self.metrics().nat
+        rate = nat / days
+        if rate <= 0:
+            return math.inf
+        return (1.0 - nat) / rate
+
+    def plan_drift(self) -> Optional[float]:
+        """Observed daily discharge vs the Eq.-7 planned allowance.
+
+        Positive = spending throughput faster than the plan (the battery
+        will die before the discard date); ``None`` when the run never
+        published a DoD goal or nothing was discharged yet.
+        """
+        if self.dod_goal is None:
+            return None
+        days = self.elapsed_days()
+        if days <= 0:
+            return None
+        planned_ah_per_day = self.dod_goal * self.config.capacity_ah
+        if planned_ah_per_day <= 0:
+            return None
+        observed_ah_per_day = self.acc.discharged_ah / days
+        return observed_ah_per_day / planned_ah_per_day - 1.0
+
+
+@dataclass
+class RunHealth:
+    """Health state for one simulation run within a trace."""
+
+    index: int
+    policy: str = ""
+    n_nodes: int = 0
+    t_last: float = 0.0
+    days_closed: int = 0
+    batteries: Dict[str, BatteryHealth] = field(default_factory=dict)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    alerts: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.policy or f"run{self.index}"
+
+    def battery(self, node: str) -> BatteryHealth:
+        try:
+            return self.batteries[node]
+        except KeyError:
+            b = self.batteries[node] = BatteryHealth(node=node)
+            return b
+
+    def fleet_median_speed(self) -> float:
+        speeds = sorted(b.aging_speed() for b in self.batteries.values())
+        if not speeds:
+            return 0.0
+        mid = len(speeds) // 2
+        if len(speeds) % 2:
+            return speeds[mid]
+        return 0.5 * (speeds[mid - 1] + speeds[mid])
+
+
+class FleetHealthModel(EventSink):
+    """Folds the event stream into per-run, per-battery health state.
+
+    Use live by attaching to the bus for the duration of a run, or
+    offline via :meth:`from_trace`. An optional :class:`~repro.obs.
+    alerts.AlertEngine` is driven during folding — per-sample SoC-floor
+    checks, per-day DDT and fleet aging-speed evaluation — so replaying
+    a trace re-derives alerts even if the original run had none
+    attached.
+    """
+
+    def __init__(
+        self,
+        weights: MetricWeights = EQUAL_WEIGHTS,
+        alert_engine: Optional[AlertEngine] = None,
+    ) -> None:
+        self.weights = weights
+        self.alerts = alert_engine
+        self.runs: List[RunHealth] = []
+        self._run: Optional[RunHealth] = None
+        self.n_events = 0
+
+    # ------------------------------------------------------------------
+    # Stream consumption (EventSink contract)
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:  # noqa: C901 - dispatcher
+        self.n_events += 1
+        kind = event.kind
+        if kind == "run_start":
+            run = RunHealth(
+                index=len(self.runs),
+                policy=getattr(event, "policy", ""),
+                n_nodes=getattr(event, "n_nodes", 0),
+            )
+            self.runs.append(run)
+            self._run = run
+            return
+        run = self._current_run()
+        run.event_counts[kind] = run.event_counts.get(kind, 0) + 1
+        run.t_last = max(run.t_last, event.t)
+        if kind == "battery_config":
+            run.battery(event.node).config = BatteryConfig(
+                lifetime_ah_throughput=event.lifetime_ah_throughput,
+                reference_current=event.reference_current,
+                capacity_ah=event.capacity_ah,
+                cutoff_soc=event.cutoff_soc,
+            )
+        elif kind == "battery_sample":
+            battery = run.battery(event.node)
+            battery.acc.observe(
+                event.soc,
+                event.current_a,
+                event.dt,
+                battery.config.reference_current,
+            )
+            battery.n_samples += 1
+            battery.last_soc = event.soc
+        elif kind == "day_start":
+            self._close_day(run, event.t)
+        elif kind == "dod_goal":
+            run.battery(event.node).dod_goal = event.goal
+        elif kind == "alert":
+            run.alerts.append(event)
+
+    def _current_run(self) -> RunHealth:
+        if self._run is None:
+            # Headless stream (no run_start): open an anonymous scope.
+            self._run = RunHealth(index=len(self.runs))
+            self.runs.append(self._run)
+        return self._run
+
+    def _close_day(self, run: RunHealth, t: float) -> None:
+        """Close every battery's day window: score it, check rules."""
+        if run.days_closed == 0 and all(
+            b.n_samples == 0 for b in run.batteries.values()
+        ):
+            # The day-0 boundary fires before any sample; nothing to score.
+            run.days_closed += 1
+            return
+        for battery in run.batteries.values():
+            window = battery.window_metrics()
+            score = node_aging_score(window, self.weights)
+            battery.day_scores.append(score)
+            battery.day_mark = battery.acc.copy()
+            if self.alerts is not None and self.alerts.enabled:
+                self.alerts.observe(
+                    "ddt_window_breach", battery.node, window.ddt, t
+                )
+                self.alerts.observe(
+                    "aging_speed_regression",
+                    battery.node,
+                    battery.aging_speed(),
+                    t,
+                )
+        if self.alerts is not None and self.alerts.enabled and run.batteries:
+            self.alerts.evaluate_fleet("aging_speed_regression", t)
+        run.days_closed += 1
+
+    def finalize(self) -> None:
+        """Close the trailing partial day of every run (idempotent)."""
+        for run in self.runs:
+            saved = self._run
+            self._run = run
+            has_tail = any(
+                (b.acc - b.day_mark).total_time_s > 0
+                for b in run.batteries.values()
+            )
+            if has_tail:
+                self._close_day(run, run.t_last)
+            self._run = saved
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        path: str,
+        weights: MetricWeights = EQUAL_WEIGHTS,
+        alert_engine: Optional[AlertEngine] = None,
+    ) -> "FleetHealthModel":
+        """Replay a JSONL trace file into a finalized model."""
+        from repro.obs.events import iter_events
+
+        model = cls(weights=weights, alert_engine=alert_engine)
+        for event in iter_events(path, strict=False):
+            model.emit(event)
+        model.finalize()
+        return model
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> "FleetHealthReport":
+        return FleetHealthReport(model=self)
+
+
+METRIC_NAMES = ("nat", "cf", "pc", "ddt", "dr_mean")
+
+
+@dataclass
+class FleetHealthReport:
+    """Renderable summary of a :class:`FleetHealthModel`."""
+
+    model: FleetHealthModel
+
+    def rows(self, run: RunHealth) -> List[tuple]:
+        """Per-battery table rows for one run."""
+        weights = self.model.weights
+        median_speed = run.fleet_median_speed()
+        rows = []
+        for name in sorted(run.batteries):
+            b = run.batteries[name]
+            m = b.metrics()
+            br = b.breakdown(weights)
+            speed = b.aging_speed()
+            rel = speed / median_speed if median_speed > 0 else 1.0
+            eol = b.eol_projection_days()
+            drift = b.plan_drift()
+            rows.append(
+                (
+                    name,
+                    m.nat * 1000.0,
+                    m.cf if not math.isinf(m.cf) else float("inf"),
+                    m.pc,
+                    m.ddt,
+                    m.dr_mean,
+                    br.score,
+                    br.nat_term,
+                    br.cf_term,
+                    br.pc_term,
+                    speed,
+                    rel,
+                    eol if not math.isinf(eol) else float("inf"),
+                    f"{drift * 100.0:+.1f}%" if drift is not None else "-",
+                )
+            )
+        return rows
+
+    def to_text(self) -> str:
+        """The full operator-facing health report."""
+        # Imported here: repro.analysis pulls in the campaign layer, which
+        # imports repro.obs — a module-level import would be circular.
+        from repro.analysis.reporting import format_table
+
+        out: List[str] = []
+        if not any(run.batteries for run in self.model.runs):
+            stream_alerts = [a for run in self.model.runs for a in run.alerts]
+            if not stream_alerts and not (
+                self.model.alerts is not None and self.model.alerts.history
+            ):
+                return "(no battery telemetry in stream — was the run traced?)"
+        headers = (
+            "battery",
+            "NAT x1e-3",
+            "CF",
+            "PC",
+            "DDT",
+            "DR",
+            "score",
+            "=NAT",
+            "+CF",
+            "+PC",
+            "speed/d",
+            "x fleet",
+            "EOL (d)",
+            "plan drift",
+        )
+        for run in self.model.runs:
+            if not run.batteries:
+                continue
+            n_days = max(1, len(next(iter(run.batteries.values())).day_scores))
+            out.append(
+                format_table(
+                    headers,
+                    self.rows(run),
+                    title=(
+                        f"[{run.label}] fleet health — "
+                        f"{len(run.batteries)} batteries, "
+                        f"{n_days} scored day(s), t_end {run.t_last:.0f}s"
+                    ),
+                )
+            )
+            out.append("")
+        out.extend(self._alert_lines())
+        if not out:
+            return "(no battery telemetry in stream — was the run traced?)"
+        return "\n".join(out).rstrip()
+
+    def _alert_lines(self) -> List[str]:
+        """Alerts: those carried in the stream plus replay-derived ones."""
+        lines: List[str] = []
+        stream_alerts = [a for run in self.model.runs for a in run.alerts]
+        engine = self.model.alerts
+        derived = list(engine.history) if engine is not None else []
+        if not stream_alerts and not derived:
+            lines.append("alerts: none")
+            return lines
+        if stream_alerts:
+            fired = [a for a in stream_alerts if not a.cleared]
+            lines.append(
+                f"alerts in stream: {len(fired)} fired, "
+                f"{len(stream_alerts) - len(fired)} cleared"
+            )
+            for a in sorted(
+                fired, key=lambda a: (a.severity != "critical", a.t)
+            )[:20]:
+                lines.append(
+                    f"  [{a.severity:8s}] t={a.t:9.0f}s {a.rule} {a.node} "
+                    f"(value {a.value:.4g}, threshold {a.threshold:.4g})"
+                )
+        if derived:
+            fired = [a for a in derived if not a.cleared]
+            lines.append(f"alerts derived on replay: {len(fired)} fired")
+            for a in fired[:20]:
+                lines.append(
+                    f"  [{a.severity:8s}] t={a.t:9.0f}s {a.rule} {a.node} "
+                    f"(value {a.value:.4g}, threshold {a.threshold:.4g})"
+                )
+        return lines

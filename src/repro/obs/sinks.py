@@ -19,6 +19,14 @@ from typing import Deque, List, Optional
 
 from repro.obs.events import TraceEvent
 
+#: Default :class:`MemorySink` ring size. At the BAAT scenario's
+#: telemetry rate (6 nodes x 1 sample/min plus control events, roughly
+#: 10 events per simulated minute) this holds ~2.5 weeks of events in
+#: ~25 MB — ample for any in-memory analysis while keeping a month-long
+#: instrumented run from growing without bound. Pass ``maxlen=None``
+#: explicitly to opt back into an unbounded buffer.
+DEFAULT_MEMORY_SINK_MAXLEN = 262_144
+
 
 class EventSink:
     """Interface: receives every event emitted on an enabled bus."""
@@ -40,9 +48,13 @@ class NullSink(EventSink):
 
 
 class MemorySink(EventSink):
-    """Ring buffer of the most recent events."""
+    """Ring buffer of the most recent events.
 
-    def __init__(self, maxlen: Optional[int] = None):
+    Bounded by default (:data:`DEFAULT_MEMORY_SINK_MAXLEN`); pass
+    ``maxlen=None`` for an unbounded buffer.
+    """
+
+    def __init__(self, maxlen: Optional[int] = DEFAULT_MEMORY_SINK_MAXLEN):
         self._buffer: Deque[TraceEvent] = deque(maxlen=maxlen)
 
     def emit(self, event: TraceEvent) -> None:
@@ -52,6 +64,11 @@ class MemorySink(EventSink):
     def events(self) -> List[TraceEvent]:
         """The buffered events, oldest first."""
         return list(self._buffer)
+
+    @property
+    def maxlen(self) -> Optional[int]:
+        """The ring bound (``None`` = unbounded)."""
+        return self._buffer.maxlen
 
     def clear(self) -> None:
         self._buffer.clear()

@@ -27,7 +27,12 @@ from repro.core.policies.base import Policy
 from repro.datacenter.power_path import PowerPath
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs import BUS, REGISTRY
-from repro.obs.events import DayStartEvent, RunStartEvent, SocCrossingEvent
+from repro.obs.events import (
+    BatteryConfigEvent,
+    DayStartEvent,
+    RunStartEvent,
+    SocCrossingEvent,
+)
 from repro.obs.timers import StepPhaseTimers
 from repro.rng import spawn
 from repro.sim.recorder import LOW_SOC_THRESHOLD, TraceRecorder
@@ -112,6 +117,20 @@ class Simulation:
                     steps_total=self.steps_total,
                 )
             )
+            # Battery constants make the trace self-contained for offline
+            # aging attribution (repro health on the JSONL file alone).
+            for node in self.cluster:
+                params = node.battery.params
+                BUS.emit(
+                    BatteryConfigEvent(
+                        t=0.0,
+                        node=node.name,
+                        lifetime_ah_throughput=params.lifetime_ah_throughput,
+                        reference_current=params.reference_current,
+                        capacity_ah=params.capacity_ah,
+                        cutoff_soc=params.cutoff_soc,
+                    )
+                )
         self.deploy()
         for node in self.cluster:
             node.tracker.mark(RUN_MARK)

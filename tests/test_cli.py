@@ -41,6 +41,31 @@ class TestParser:
         assert args.experiment == "fig10"
         assert args.full
 
+    def test_trace_accepts_file_or_diff(self):
+        args = build_parser().parse_args(["trace", "run.jsonl"])
+        assert args.args == ["run.jsonl"]
+        args = build_parser().parse_args(["trace", "diff", "a.jsonl", "b.jsonl"])
+        assert args.args == ["diff", "a.jsonl", "b.jsonl"]
+
+    def test_health_defaults(self):
+        args = build_parser().parse_args(["health"])
+        assert args.source is None
+        assert args.policy == "baat"
+        args = build_parser().parse_args(["health", "run.jsonl"])
+        assert args.source == "run.jsonl"
+
+    def test_export_format_choices(self):
+        args = build_parser().parse_args(["export", "--format", "csv"])
+        assert args.format == "csv"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "--format", "yaml"])
+
+    def test_profile_flag_three_forms(self):
+        assert build_parser().parse_args(["stats"]).profile is None
+        assert build_parser().parse_args(["stats", "--profile"]).profile == ""
+        args = build_parser().parse_args(["stats", "--profile", "out.pstats"])
+        assert args.profile == "out.pstats"
+
 
 class TestCommands:
     def test_experiments_lists_all(self, capsys):
@@ -73,3 +98,80 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in ("e-buff", "baat-s", "baat-h", "baat"):
             assert name in out
+
+
+@pytest.fixture(scope="module")
+def trace_pair(tmp_path_factory):
+    """Two traced single-day runs (sunny vs rainy) for replay commands."""
+    directory = tmp_path_factory.mktemp("cli-traces")
+    path_a = str(directory / "sunny.jsonl")
+    path_b = str(directory / "rainy.jsonl")
+    assert main(["stats", "--day", "sunny", "--dt", "300", "--trace", path_a]) == 0
+    assert main(["stats", "--day", "rainy", "--dt", "300", "--trace", path_b]) == 0
+    return path_a, path_b
+
+
+class TestObservabilityCommands:
+    def test_trace_single_file_summary(self, trace_pair, capsys):
+        path_a, _ = trace_pair
+        assert main(["trace", path_a, "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "event(s), t in [" in out
+        assert "battery_sample" in out
+
+    def test_trace_diff(self, trace_pair, capsys):
+        path_a, path_b = trace_pair
+        assert main(["trace", "diff", path_a, path_b]) == 0
+        out = capsys.readouterr().out
+        assert "event counts" in out
+        assert "per-battery aging" in out
+        assert "alert events: A" in out
+
+    def test_trace_diff_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "diff", "only-one.jsonl"])
+
+    def test_health_replay(self, trace_pair, capsys):
+        path_a, _ = trace_pair
+        assert main(["health", path_a]) == 0
+        out = capsys.readouterr().out
+        assert "fleet health" in out
+        assert "node0" in out
+        assert "alerts" in out
+
+    def test_health_missing_trace_exits(self):
+        with pytest.raises(SystemExit):
+            main(["health", "no-such-trace.jsonl"])
+
+    def test_health_live_run(self, capsys):
+        assert main(["health", "--day", "sunny", "--dt", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "baat on 1 x sunny day(s)" in out
+        assert "fleet health" in out
+        assert "EOL (d)" in out
+
+    def test_export_openmetrics_stdout(self, capsys):
+        assert main(["export", "--day", "sunny", "--dt", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "# EOF" in out
+        assert "repro_" in out
+        assert "phase_" in out  # step-phase timers made it into the export
+
+    def test_export_csv_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.csv"
+        assert (
+            main(
+                [
+                    "export", "--format", "csv", "--out", str(out_path),
+                    "--day", "sunny", "--dt", "300",
+                ]
+            )
+            == 0
+        )
+        assert "wrote csv export" in capsys.readouterr().out
+        assert out_path.read_text(encoding="utf-8").startswith("metric,field,value")
+
+    def test_profile_prints_hot_functions(self, capsys):
+        assert main(["stats", "--day", "sunny", "--dt", "300", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (top 15 by cumulative time):" in out

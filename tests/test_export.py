@@ -1,0 +1,140 @@
+"""Tests for the metric exporters (`repro.obs.export`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricRegistry
+from repro.obs.events import DayStartEvent
+from repro.obs.export import (
+    PeriodicExportSink,
+    parse_openmetrics,
+    sanitize_metric_name,
+    to_csv_snapshot,
+    to_openmetrics,
+    write_export,
+)
+
+
+@pytest.fixture
+def registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.enabled = True
+    reg.counter("engine/steps").inc(42.0)
+    reg.gauge("planned/dod_goal/node0").set(0.55)
+    hist = reg.histogram("phase/control")
+    for v in (0.001, 0.002, 0.009):
+        hist.observe(v)
+    return reg
+
+
+class TestNameSanitization:
+    def test_dotted_and_slashed_names_map_to_charset(self):
+        assert sanitize_metric_name("engine/steps") == "engine_steps"
+        assert sanitize_metric_name("a.b-c d") == "a_b_c_d"
+
+    def test_leading_digit_gets_underscore(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_valid_names_pass_through(self):
+        assert sanitize_metric_name("already_valid:name") == "already_valid:name"
+
+
+class TestOpenMetrics:
+    def test_round_trip_preserves_exact_values(self, registry):
+        parsed = parse_openmetrics(to_openmetrics(registry))
+        assert parsed["counter"]["repro_engine_steps"] == 42.0
+        assert parsed["gauge"]["repro_planned_dod_goal_node0"] == 0.55
+        summary = parsed["summary"]["repro_phase_control"]
+        assert summary == {
+            "count": 3.0,
+            "sum": pytest.approx(0.012),
+            "min": 0.001,
+            "max": 0.009,
+        }
+
+    def test_terminates_with_eof(self, registry):
+        text = to_openmetrics(registry)
+        assert text.endswith("# EOF\n")
+
+    def test_counter_total_suffix(self, registry):
+        text = to_openmetrics(registry)
+        assert "# TYPE repro_engine_steps counter" in text
+        assert "repro_engine_steps_total 42.0" in text
+
+    def test_custom_prefix(self, registry):
+        parsed = parse_openmetrics(to_openmetrics(registry, prefix="baat"))
+        assert "baat_engine_steps" in parsed["counter"]
+
+    def test_empty_registry_is_valid(self):
+        assert parse_openmetrics(to_openmetrics(MetricRegistry())) == {
+            "counter": {},
+            "gauge": {},
+            "summary": {},
+        }
+
+    def test_untyped_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_openmetrics("mystery_metric 1.0\n# EOF\n")
+
+
+class TestCsv:
+    def test_rows_cover_all_metric_kinds(self, registry):
+        lines = to_csv_snapshot(registry).splitlines()
+        assert lines[0] == "metric,field,value"
+        rows = {tuple(line.split(",")[:2]) for line in lines[1:]}
+        assert ("engine/steps", "count") in rows
+        assert ("planned/dod_goal/node0", "value") in rows
+        for field in ("count", "total", "mean", "min", "max"):
+            assert ("phase/control", field) in rows
+
+    def test_values_repr_round_trip(self, registry):
+        for line in to_csv_snapshot(registry).splitlines()[1:]:
+            value = line.rsplit(",", 1)[1]
+            float(value)  # every value cell parses back
+
+
+class TestWriteExport:
+    def test_writes_file_and_returns_text(self, registry, tmp_path):
+        path = tmp_path / "metrics.prom"
+        text = write_export(registry, str(path))
+        assert path.read_text(encoding="utf-8") == text
+        assert "# EOF" in text
+
+    def test_csv_format_selectable(self, registry, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_export(registry, str(path), fmt="csv")
+        assert path.read_text(encoding="utf-8").startswith("metric,field,value")
+
+    def test_unknown_format_rejected(self, registry, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_export(registry, str(tmp_path / "x"), fmt="yaml")
+
+
+class TestPeriodicExportSink:
+    def test_rewrites_at_event_time_intervals(self, registry, tmp_path):
+        path = tmp_path / "live.prom"
+        sink = PeriodicExportSink(registry, str(path), interval_s=3600.0)
+        sink.emit(DayStartEvent(t=0.0, day_index=0))  # arms the schedule
+        assert sink.n_exports == 0 and not path.exists()
+        sink.emit(DayStartEvent(t=3600.0, day_index=0))
+        assert sink.n_exports == 1 and path.exists()
+        # Idle gap: one rewrite, then the schedule catches up past it.
+        sink.emit(DayStartEvent(t=4.5 * 3600.0, day_index=0))
+        assert sink.n_exports == 2
+        sink.emit(DayStartEvent(t=4.6 * 3600.0, day_index=0))
+        assert sink.n_exports == 2  # next slot is now 5.5 h
+
+    def test_close_writes_final_snapshot(self, registry, tmp_path):
+        path = tmp_path / "final.prom"
+        sink = PeriodicExportSink(registry, str(path), interval_s=3600.0)
+        sink.close()
+        assert sink.n_exports == 1
+        assert parse_openmetrics(path.read_text(encoding="utf-8"))["counter"]
+
+    def test_validates_configuration(self, registry, tmp_path):
+        with pytest.raises(ConfigurationError):
+            PeriodicExportSink(registry, str(tmp_path / "x"), interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PeriodicExportSink(registry, str(tmp_path / "x"), fmt="yaml")

@@ -102,6 +102,14 @@ class TestBus:
         assert len(sink) == 1
         assert not BUS.enabled
 
+    def test_memory_sink_bounded_by_default(self):
+        from repro.obs import DEFAULT_MEMORY_SINK_MAXLEN
+
+        assert MemorySink().maxlen == DEFAULT_MEMORY_SINK_MAXLEN
+        assert MemorySink(maxlen=None).maxlen is None  # opt-in unbounded
+        with BUS.capture() as sink:
+            assert sink.maxlen == DEFAULT_MEMORY_SINK_MAXLEN
+
 
 # ----------------------------------------------------------------------
 # JSONL round-trip
@@ -132,6 +140,26 @@ class TestJsonlRoundTrip:
         sink.close()
         assert sink.n_written == len(emitted)
         assert read_events(path) == emitted
+
+    def test_close_is_flush_idempotent(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        sink.emit(DayStartEvent(t=0.0, day_index=0))
+        sink.close()
+        assert read_events(path) == [DayStartEvent(t=0.0, day_index=0)]
+        sink.close()  # second close: no error, file unchanged
+        assert read_events(path) == [DayStartEvent(t=0.0, day_index=0)]
+
+    def test_close_leaves_borrowed_streams_open(self, tmp_path):
+        with open(tmp_path / "trace.jsonl", "w", encoding="utf-8") as fh:
+            sink = JsonlSink(fh)
+            sink.emit(DayStartEvent(t=0.0, day_index=0))
+            sink.close()  # flushes, but the caller owns the handle
+            assert not fh.closed
+            fh.write("")  # still usable
+        assert read_events(str(tmp_path / "trace.jsonl")) == [
+            DayStartEvent(t=0.0, day_index=0)
+        ]
 
     def test_unknown_fields_dropped_unknown_kind_raises(self, tmp_path):
         path = tmp_path / "trace.jsonl"
