@@ -18,11 +18,17 @@ baseline. This bench measures the step loop three ways:
   at :data:`MAX_ALERTING_OVERHEAD_PCT` over disabled.
 
 Run standalone (``python benchmarks/bench_obs_overhead.py``) or through
-pytest (``pytest benchmarks/bench_obs_overhead.py -s``).
+pytest (``pytest benchmarks/bench_obs_overhead.py -s``). Standalone,
+``--json PATH`` additionally writes the measurements machine-readably
+(the shape CI's ``BENCH_obs.json`` gate consumes); under pytest the same
+payload reaches the suite conftest via ``record_property`` and lands in
+the ``--bench-json`` report.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 from time import perf_counter
 
@@ -48,6 +54,9 @@ MAX_ALERTING_OVERHEAD_PCT = 50.0
 #: mode in every position equally often. The per-mode minimum is
 #: reported (least-noise estimator).
 REPEATS = 8
+
+#: Steps in the measured run: one day at dt = 120 s.
+STEPS_PER_RUN = 720
 
 
 def _step_loop_seconds(dt_s: float = 120.0) -> float:
@@ -163,10 +172,29 @@ def report(results: dict) -> str:
     )
 
 
-def test_obs_overhead_null_sink():
+def payload(results: dict) -> dict:
+    """The machine-readable form of one measurement (``BENCH_obs.json``)."""
+    return {
+        **results,
+        "steps_per_run": STEPS_PER_RUN,
+        "steps_per_s_disabled": STEPS_PER_RUN / results["disabled_s"],
+        "steps_per_s_alerting": STEPS_PER_RUN / results["alerting_s"],
+        "budgets": {
+            "null_pct": MAX_NULL_OVERHEAD_PCT,
+            "alerting_pct": MAX_ALERTING_OVERHEAD_PCT,
+        },
+        "ok_null": results["null_overhead_pct"] < MAX_NULL_OVERHEAD_PCT,
+        "ok_alerting": (
+            results["alerting_overhead_pct"] < MAX_ALERTING_OVERHEAD_PCT
+        ),
+    }
+
+
+def test_obs_overhead_null_sink(record_property):
     results = measure()
     print()
     print(report(results))
+    record_property("obs_overhead", payload(results))
     assert results["null_overhead_pct"] < MAX_NULL_OVERHEAD_PCT, (
         f"null-sink overhead {results['null_overhead_pct']:.2f} % exceeds "
         f"{MAX_NULL_OVERHEAD_PCT} %"
@@ -177,20 +205,30 @@ def test_obs_overhead_null_sink():
     )
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the measurements as JSON (the BENCH_obs.json shape)",
+    )
+    args = parser.parse_args(argv)
     results = measure()
     print(report(results))
-    ok = results["null_overhead_pct"] < MAX_NULL_OVERHEAD_PCT
+    data = payload(results)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"obs_overhead": data}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
     print(
-        f"null-sink overhead {'within' if ok else 'EXCEEDS'} "
+        f"null-sink overhead {'within' if data['ok_null'] else 'EXCEEDS'} "
         f"{MAX_NULL_OVERHEAD_PCT} % budget"
     )
-    ok_alerting = results["alerting_overhead_pct"] < MAX_ALERTING_OVERHEAD_PCT
     print(
-        f"alerting overhead {'within' if ok_alerting else 'EXCEEDS'} "
+        f"alerting overhead {'within' if data['ok_alerting'] else 'EXCEEDS'} "
         f"{MAX_ALERTING_OVERHEAD_PCT} % budget"
     )
-    return 0 if ok and ok_alerting else 1
+    return 0 if data["ok_null"] and data["ok_alerting"] else 1
 
 
 if __name__ == "__main__":

@@ -9,7 +9,16 @@ Experiments route their simulations through the campaign runner, so the
 suite accepts ``--campaign-workers N`` to fan each bench's sweep out
 over N worker processes. The on-disk result cache is disabled for the
 whole suite — benches must measure simulation, not pickle loads.
+
+``--bench-json PATH`` additionally writes a machine-readable report
+(``BENCH_obs.json`` in CI): per-bench wall seconds, plus — when
+``bench_obs_overhead`` ran — its full measurement (mode timings,
+steps/s, overhead percentages, budgets and pass flags), which CI gates
+on.
 """
+
+import json
+import time
 
 import pytest
 
@@ -23,6 +32,13 @@ def pytest_addoption(parser):
         default=1,
         help="worker processes for campaign-routed benches (default 1)",
     )
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write per-bench wall times (and the obs-overhead measurement) "
+        "as JSON to PATH",
+    )
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -32,3 +48,36 @@ def _bench_execution_defaults(request):
     yield
     reset_cache_config()
     set_default_workers(1)
+
+
+#: ``nodeid -> {wall_s, outcome}`` plus the ``_obs_overhead`` payload;
+#: module-level because ``pytest_runtest_logreport`` has no config handle.
+_REPORTS: dict = {}
+
+
+def pytest_runtest_logreport(report):
+    """Collect each bench's call-phase wall time and recorded payloads."""
+    if report.when != "call":
+        return
+    entry = _REPORTS.setdefault(report.nodeid, {})
+    entry["wall_s"] = report.duration
+    entry["outcome"] = report.outcome
+    for name, value in report.user_properties:
+        if name == "obs_overhead":
+            _REPORTS["_obs_overhead"] = value
+
+
+def pytest_sessionfinish(session):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    overhead = _REPORTS.pop("_obs_overhead", None)
+    data = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "benches": {k: v for k, v in sorted(_REPORTS.items())},
+    }
+    if overhead is not None:
+        data["obs_overhead"] = overhead
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")

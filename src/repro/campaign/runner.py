@@ -42,6 +42,7 @@ from repro.obs.events import (
     CellRetryEvent,
     CellStartEvent,
 )
+from repro.obs.spans import SPANS, in_span
 from repro.sim.results import SimResult
 
 _ENV_WORKERS = "REPRO_CAMPAIGN_WORKERS"
@@ -351,6 +352,16 @@ def run_campaign(
                     )
 
     for i, spec, key in inline_jobs:
+        # The cell span brackets the whole inline execution (campaign
+        # wall-clock scope); running inside ``in_span`` stamps every event
+        # the simulation emits with the enclosing cell, so `repro explain`
+        # can attribute in-run decisions to their campaign cell.
+        span_id = SPANS.start(
+            "campaign_cell",
+            node=spec.effective_label,
+            t=time.perf_counter() - t0,
+            scope="campaign",
+        )
         if BUS.enabled:
             BUS.emit(
                 CellStartEvent(
@@ -358,7 +369,13 @@ def run_campaign(
                 )
             )
         started = time.perf_counter()
-        result, attempts, errors = _run_inline(spec, retries, t0=t0)
+        with in_span(span_id):
+            result, attempts, errors = _run_inline(spec, retries, t0=t0)
+        SPANS.end(
+            "campaign_cell",
+            node=spec.effective_label,
+            t=time.perf_counter() - t0,
+        )
         fresh.append(
             (i, spec, key, result, attempts, errors, time.perf_counter() - started)
         )

@@ -13,6 +13,11 @@ The subcommands mirror how the prototype was operated:
 - ``repro trace <file>`` — inspect a trace JSONL written by ``--trace``;
 - ``repro trace diff <a> <b>`` — event-count and per-battery aging
   deltas between two traces (policy comparison, instrumentation drift);
+- ``repro trace validate <file>`` — schema/monotonicity/span-matching
+  checks on a trace; non-zero exit on any violation (CI gate);
+- ``repro explain <trace>`` — causal provenance: walk each control
+  action (migration, DVFS cap, park...) back to the alert / SoC
+  crossing / plan that triggered it, plus aggregate trigger stats;
 - ``repro stats`` — run one instrumented simulation and print the metric
   registry: step-phase timings, action counters, gauges;
 - ``repro health`` — per-battery aging attribution, alerts, and EOL
@@ -37,6 +42,8 @@ Usage::
     python -m repro campaign --policies e-buff,baat --days 3 --workers 4
     python -m repro trace out.jsonl --kind vm_migrated
     python -m repro trace diff baseline.jsonl candidate.jsonl
+    python -m repro trace validate out.jsonl
+    python -m repro explain out.jsonl --battery batt03
     python -m repro stats --policy baat-planned --day rainy --days 2
     python -m repro health out.jsonl
     python -m repro health --policy baat --day rainy --days 2
@@ -145,11 +152,37 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, help="override the result-cache directory"
     )
+    _add_trace_flags(parser)
+    _add_profile_flag(parser)
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="write structured telemetry events (JSONL) to FILE",
     )
-    _add_profile_flag(parser)
+    parser.add_argument(
+        "--trace-gzip", action="store_true",
+        help="gzip-compress the trace (implied by a .gz --trace suffix)",
+    )
+    parser.add_argument(
+        "--trace-rotate-mb", type=float, default=None, metavar="MB",
+        help="rotate the trace into FILE, FILE.1, ... segments of about "
+        "MB megabytes each (readers follow segments transparently)",
+    )
+
+
+def _trace_sink_kwargs(args: argparse.Namespace) -> dict:
+    """``enable_observability`` kwargs from the --trace-* flags."""
+    rotate_mb = getattr(args, "trace_rotate_mb", None)
+    if rotate_mb is not None and rotate_mb <= 0:
+        raise SystemExit("--trace-rotate-mb must be > 0")
+    return {
+        "compress": True if getattr(args, "trace_gzip", False) else None,
+        "rotate_bytes": (
+            int(rotate_mb * 1024 * 1024) if rotate_mb is not None else None
+        ),
+    }
 
 
 def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
@@ -260,16 +293,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Inspect one trace JSONL file, or diff two (``trace diff A B``)."""
+    """Inspect one trace JSONL file, diff two, or validate one."""
     tokens: List[str] = args.args
     if tokens[0] == "diff":
         if len(tokens) != 3:
             raise SystemExit("usage: repro trace diff A.jsonl B.jsonl")
         return _trace_diff(tokens[1], tokens[2])
+    if tokens[0] == "validate":
+        if len(tokens) != 2:
+            raise SystemExit("usage: repro trace validate FILE")
+        return _trace_validate(tokens[1])
     if len(tokens) != 1:
         raise SystemExit(
             "usage: repro trace FILE [--kind K] [--node N] [--limit N]\n"
-            "       repro trace diff A.jsonl B.jsonl"
+            "       repro trace diff A.jsonl B.jsonl\n"
+            "       repro trace validate FILE"
         )
     args.file = tokens[0]
     kinds: _Counter = _Counter()
@@ -309,6 +347,98 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(f"  {kind:20s} {count}")
     except BrokenPipeError:  # piped into head/less that closed early
         pass
+    return 0
+
+
+def _trace_validate(path: str) -> int:
+    """Schema / monotonicity / span-matching checks; non-zero on failure."""
+    from repro.obs.provenance import validate_trace
+
+    try:
+        result = validate_trace(path)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {path}")
+    for violation in result.violations:
+        print(f"  VIOLATION {violation}")
+    for span_id, name, node in result.open_spans:
+        print(f"  open span: {name} on {node or 'cluster'} (id {span_id})")
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Causal provenance chains: why did each control action fire?"""
+    from repro.obs.provenance import DEFAULT_EXPLAIN_KINDS, ProvenanceIndex
+
+    try:
+        index = ProvenanceIndex.from_trace(args.trace_file)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.trace_file}")
+    except ValueError as exc:
+        raise SystemExit(f"malformed trace line in {args.trace_file}: {exc}")
+    if not index.n_events:
+        print("(empty trace)")
+        return 0
+
+    runs = ", ".join(f"{r.policy} ({r.n_actions} action(s))" for r in index.runs)
+    print(
+        f"{args.trace_file}: {index.n_events} event(s), "
+        f"{len(index.runs)} run(s){': ' + runs if runs else ''}\n"
+    )
+
+    if args.event is not None:
+        chain = index.chain(args.event)
+        if not chain:
+            raise SystemExit(
+                f"event #{args.event} is not in the provenance index "
+                f"(not emitted, or a bulk-telemetry kind)"
+            )
+        for line in index.render_chain(chain):
+            print(line)
+        return 0
+
+    kinds = (args.action,) if args.action else DEFAULT_EXPLAIN_KINDS
+    chains = index.action_chains(kinds=kinds, node=args.battery)
+    if not chains:
+        scope = f" on {args.battery}" if args.battery else ""
+        print(f"no {'/'.join(kinds)} action(s){scope} in this trace")
+    for chain in chains[: args.limit]:
+        for line in index.render_chain(chain):
+            print(line)
+        print()
+    if len(chains) > args.limit:
+        print(f"... {len(chains) - args.limit} more chain(s); raise --limit\n")
+
+    summary = index.action_summary()
+    rows = [
+        (kind, trigger, count)
+        for kind in sorted(summary)
+        for trigger, count in sorted(
+            summary[kind].items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+    if rows:
+        print(format_table(
+            ("action", "triggered by", "count"), rows, title="action triggers"
+        ))
+    span_rows = [
+        (
+            name,
+            int(stats["count"]),
+            int(stats.get("open", 0)),
+            stats["total"],
+            stats["mean"],
+            stats["max"],
+        )
+        for name, stats in index.span_stats().items()
+    ]
+    if span_rows:
+        print()
+        print(format_table(
+            ("span", "closed", "open", "total s", "mean s", "max s"),
+            span_rows,
+            title="time in span",
+        ))
     return 0
 
 
@@ -430,7 +560,7 @@ def cmd_health(args: argparse.Namespace) -> int:
 
     day, scenario, trace, spec = _live_sim_inputs(args)
     REGISTRY.reset()
-    enable_observability(args.trace)
+    enable_observability(args.trace, **_trace_sink_kwargs(args))
     model = FleetHealthModel()
     BUS.add_sink(model)
     try:
@@ -455,7 +585,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 
     day, scenario, trace, spec = _live_sim_inputs(args)
     REGISTRY.reset()
-    enable_observability(args.trace)
+    enable_observability(args.trace, **_trace_sink_kwargs(args))
     try:
         Simulation(scenario, spec.build_policy(), trace).run()
         if args.format == "openmetrics":
@@ -480,7 +610,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     day, scenario, trace, spec = _live_sim_inputs(args)
     REGISTRY.reset()
-    enable_observability(args.trace)
+    enable_observability(args.trace, **_trace_sink_kwargs(args))
     try:
         with BUS.capture() as sink:
             Simulation(scenario, spec.build_policy(), trace).run()
@@ -602,12 +732,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        help="inspect a telemetry JSONL file written by --trace, or "
-        "'trace diff A B' to compare two",
+        help="inspect a telemetry JSONL file written by --trace, "
+        "'trace diff A B' to compare two, or 'trace validate FILE' "
+        "to schema-check one",
     )
     trace.add_argument(
-        "args", nargs="+", metavar="FILE | diff A B",
-        help="trace JSONL path, or: diff A.jsonl B.jsonl",
+        "args", nargs="+", metavar="FILE | diff A B | validate FILE",
+        help="trace JSONL path, or: diff A.jsonl B.jsonl, or: validate FILE",
     )
     trace.add_argument("--kind", default=None,
                        help="print only events of this kind")
@@ -615,6 +746,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print only events touching this node")
     trace.add_argument("--limit", type=int, default=20,
                        help="max events to print before the summary (default 20)")
+
+    explain = sub.add_parser(
+        "explain",
+        help="causal provenance from a trace: walk control actions back "
+        "to the alerts / SoC crossings that triggered them",
+    )
+    explain.add_argument("trace_file", metavar="TRACE",
+                         help="trace JSONL written by --trace")
+    explain.add_argument("--battery", default=None, metavar="NODE",
+                         help="only actions touching this node")
+    explain.add_argument("--event", type=int, default=None, metavar="EID",
+                         help="explain one event by its #eid")
+    explain.add_argument(
+        "--action", default=None, metavar="KIND",
+        help="only actions of this kind (e.g. vm_migrated, dvfs_cap)",
+    )
+    explain.add_argument("--limit", type=int, default=10,
+                         help="max chains to print (default 10)")
 
     stats = sub.add_parser(
         "stats",
@@ -629,8 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="initial battery fade (0.10 = 'old')")
     stats.add_argument("--dt", type=float, default=120.0)
     stats.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    stats.add_argument("--trace", default=None, metavar="FILE",
-                       help="also write the event stream to FILE (JSONL)")
+    _add_trace_flags(stats)
     _add_profile_flag(stats)
 
     health = sub.add_parser(
@@ -651,8 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="initial battery fade (0.10 = 'old')")
     health.add_argument("--dt", type=float, default=120.0)
     health.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    health.add_argument("--trace", default=None, metavar="FILE",
-                        help="also write the live run's events to FILE (JSONL)")
+    _add_trace_flags(health)
     _add_profile_flag(health)
 
     export = sub.add_parser(
@@ -672,8 +819,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="initial battery fade (0.10 = 'old')")
     export.add_argument("--dt", type=float, default=120.0)
     export.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    export.add_argument("--trace", default=None, metavar="FILE",
-                        help="also write the event stream to FILE (JSONL)")
+    _add_trace_flags(export)
     _add_profile_flag(export)
 
     return parser
@@ -692,6 +838,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "campaign": cmd_campaign,
         "cache": cmd_cache,
         "trace": cmd_trace,
+        "explain": cmd_explain,
         "stats": cmd_stats,
         "health": cmd_health,
         "export": cmd_export,
@@ -706,7 +853,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     )
     if trace_path is None:
         return handlers[args.command](args)
-    sink = enable_observability(trace_path)
+    sink = enable_observability(trace_path, **_trace_sink_kwargs(args))
     try:
         return handlers[args.command](args)
     finally:

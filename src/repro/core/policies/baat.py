@@ -28,6 +28,7 @@ from repro.datacenter.vm import VM
 from repro.errors import MigrationError
 from repro.obs import BUS, REGISTRY
 from repro.obs.events import ConsolidationEvent, ParkEvent, WakeEvent
+from repro.obs.spans import SPANS, caused_by
 from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 #: Minimum seconds between consolidation passes (stop-and-copy churn guard).
@@ -137,8 +138,14 @@ class BAATPolicy(Policy):
                 node.discharge_cap_w = float("inf")
                 if BUS.enabled:
                     BUS.emit(
-                        WakeEvent(t=t, node=node.name, reason="solar-headroom")
+                        WakeEvent(
+                            t=t,
+                            span_id=SPANS.open_id("parked", node.name),
+                            node=node.name,
+                            reason="solar-headroom",
+                        )
                     )
+                    SPANS.end("parked", node=node.name, t=t)
                 self._rebalance_onto(node.name)
                 solar_supportable -= 1
                 if solar_supportable <= len(active):
@@ -168,35 +175,48 @@ class BAATPolicy(Policy):
         keepers = {node.name for node, _ in ranked[:keep]}
         victims = [node for node, _ in ranked[keep:] if not node.server.policy_off]
 
+        cause = 0
         if BUS.enabled:
-            BUS.emit(
-                ConsolidationEvent(
-                    t=t,
-                    supportable=supportable,
-                    n_active=len(active),
-                    n_victims=len(victims),
-                )
+            plan = ConsolidationEvent(
+                t=t,
+                supportable=supportable,
+                n_active=len(active),
+                n_victims=len(victims),
             )
+            BUS.emit(plan)
+            cause = plan.eid
         if REGISTRY.enabled:
             REGISTRY.counter("baat/consolidations").inc()
 
-        for victim in reversed(victims):  # worst-aging first
-            for vm in list(victim.server.vms):
-                target = self._target_among(vm, victim.name, keepers)
-                if target is None:
+        # The consolidation span groups the epoch's migrations and parks,
+        # all caused by the plan event above.
+        with SPANS.span("consolidation", t=t, cause=cause), caused_by(cause):
+            for victim in reversed(victims):  # worst-aging first
+                for vm in list(victim.server.vms):
+                    target = self._target_among(vm, victim.name, keepers)
+                    if target is None:
+                        continue
+                    try:
+                        cluster.migrate(vm.name, target)
+                    except MigrationError:
+                        continue
+                if victim.server.vms:
+                    # Unmovable VMs keep their host up (throttled/rationed
+                    # by the monitor) — parking them would zero their
+                    # progress.
                     continue
-                try:
-                    cluster.migrate(vm.name, target)
-                except MigrationError:
-                    continue
-            if victim.server.vms:
-                # Unmovable VMs keep their host up (throttled/rationed by
-                # the monitor) — parking them would zero their progress.
-                continue
-            victim.server.policy_off = True
-            victim.discharge_cap_w = 0.0
-            if BUS.enabled:
-                BUS.emit(ParkEvent(t=t, node=victim.name, reason="consolidation"))
+                victim.server.policy_off = True
+                victim.discharge_cap_w = 0.0
+                if BUS.enabled:
+                    span_id = SPANS.start("parked", node=victim.name, t=t)
+                    BUS.emit(
+                        ParkEvent(
+                            t=t,
+                            span_id=span_id,
+                            node=victim.name,
+                            reason="consolidation",
+                        )
+                    )
 
     def _rebalance_onto(self, woken: str) -> None:
         """Move one VM from the most CPU-loaded up node onto a just-woken

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.policies.base import Policy
 from repro.datacenter.vm import VM
 from repro.errors import MigrationError
+from repro.obs.spans import SPANS
 from repro.rng import spawn
 
 #: A node is "fast aging" when its window NAT exceeds the cluster mean by
@@ -101,15 +102,18 @@ class BAATHidingPolicy(Policy):
         vm = vms[int(self._rng.integers(len(vms)))]
         others = [n.name for n in cluster.nodes if n.name != source]
         self._rng.shuffle(others)
-        for destination in others:
-            if cluster.can_migrate(vm.name, destination):
-                try:
-                    cluster.migrate(vm.name, destination)
-                except MigrationError:
-                    continue
-                self.migrations += 1
-                self._last_migration_s[source] = t
-                return
+        # The span marks the migration as NAT-imbalance-driven churn, so
+        # provenance stats can separate hiding moves from Fig.-9 ones.
+        with SPANS.span("hiding_rebalance", node=source, t=t):
+            for destination in others:
+                if cluster.can_migrate(vm.name, destination):
+                    try:
+                        cluster.migrate(vm.name, destination)
+                    except MigrationError:
+                        continue
+                    self.migrations += 1
+                    self._last_migration_s[source] = t
+                    return
 
     def describe(self) -> str:
         return "Only use aging-aware VM migration technique to hide battery aging variation"

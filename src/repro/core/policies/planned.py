@@ -20,6 +20,7 @@ from repro.core.policies.baat import BAATPolicy
 from repro.core.slowdown import SlowdownConfig
 from repro.obs import ALERTS, BUS, REGISTRY
 from repro.obs.events import DoDGoalEvent
+from repro.obs.spans import SPANS, caused_by
 
 
 class PlannedAgingPolicy(BAATPolicy):
@@ -82,20 +83,26 @@ class PlannedAgingPolicy(BAATPolicy):
             floor = max(node.battery.params.cutoff_soc + 0.04, 1.0 - goal - 0.08)
             self.monitor.low_soc_override[node.name] = threshold
             self.monitor.floor_override[node.name] = floor
+            cause = 0
             if BUS.enabled:
-                BUS.emit(
-                    DoDGoalEvent(
-                        t=t,
-                        node=node.name,
-                        goal=goal,
-                        threshold=threshold,
-                        floor=floor,
-                    )
+                goal_event = DoDGoalEvent(
+                    t=t,
+                    node=node.name,
+                    goal=goal,
+                    threshold=threshold,
+                    floor=floor,
                 )
+                # Each refresh closes the node's previous plan window and
+                # opens the next one, caused by the new goal.
+                SPANS.end("dod_plan", node=node.name, t=t)
+                BUS.emit(goal_event)
+                SPANS.start("dod_plan", node=node.name, t=t, cause=goal_event.eid)
+                cause = goal_event.eid
             if REGISTRY.enabled:
                 REGISTRY.gauge(f"planned/dod_goal/{node.name}").set(goal)
             if ALERTS.enabled:
-                ALERTS.observe("dod_goal_saturated", node.name, goal, t)
+                with caused_by(cause):
+                    ALERTS.observe("dod_goal_saturated", node.name, goal, t)
 
     def current_goals(self) -> Dict[str, float]:
         """Present DoD goal per node (for logging/benches)."""

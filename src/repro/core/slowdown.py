@@ -37,6 +37,7 @@ from repro.obs.events import (
     ParkEvent,
     SlowdownActionEvent,
 )
+from repro.obs.spans import SPANS, caused_by, in_span
 from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 
@@ -175,6 +176,10 @@ class SlowdownMonitor:
         #: aging: a deep DoD goal lowers the floor so the charge may be
         #: spent, while monitoring still engages at the threshold).
         self.floor_override: dict = {}
+        #: Per-node (trigger, cause eid) of the last :meth:`check` that
+        #: fired — the provenance anchor :meth:`control` stamps onto the
+        #: resulting action events.
+        self.last_trigger: dict = {}
         self._last_t = 0.0
 
     def low_soc_threshold(self, node: Node) -> float:
@@ -202,30 +207,58 @@ class SlowdownMonitor:
             return False
         ddt = self.controller.window_metrics(node).ddt
         reserve = reserve_seconds(battery, current_draw_w)
+        ddt_alert = dr_alert = None
         if alerting:
             # Feed the watched values even when healthy, so active alerts
-            # can observe their hysteresis release.
-            ALERTS.observe(
-                "ddt_window_breach",
-                node.name,
-                ddt,
-                self._last_t,
-                threshold=self.config.ddt_threshold,
-            )
-            ALERTS.observe(
-                "dr_reserve_exhaustion",
-                node.name,
-                reserve,
-                self._last_t,
-                threshold=self.config.reserve_seconds_threshold,
-            )
+            # can observe their hysteresis release. Observing inside the
+            # node's deep-discharge span (if one is open) stamps the
+            # excursion onto the alert events for provenance chains.
+            with in_span(SPANS.open_id("deep_discharge", node.name)):
+                ddt_alert = ALERTS.observe(
+                    "ddt_window_breach",
+                    node.name,
+                    ddt,
+                    self._last_t,
+                    threshold=self.config.ddt_threshold,
+                )
+                dr_alert = ALERTS.observe(
+                    "dr_reserve_exhaustion",
+                    node.name,
+                    reserve,
+                    self._last_t,
+                    threshold=self.config.reserve_seconds_threshold,
+                )
         if not below:
             return False
         if ddt > self.config.ddt_threshold:
+            self._record_trigger(node, "ddt", ddt_alert, "ddt_window_breach")
             return True
         if reserve < self.config.reserve_seconds_threshold:
+            self._record_trigger(node, "dr", dr_alert, "dr_reserve_exhaustion")
             return True
-        return current_draw_w > self._ration_w(node, self._last_t)
+        if current_draw_w > self._ration_w(node, self._last_t):
+            self._record_trigger(node, "ration", None, None)
+            return True
+        return False
+
+    def _record_trigger(self, node: Node, trigger: str, alert, rule_name) -> None:
+        """Remember which check tripped and its causal anchor event.
+
+        The cause is the alert emission backing the trip (fresh, or the
+        still-active episode's when dedup suppressed one), falling back
+        to the node's open deep-discharge span — the rationing check has
+        no alert rule, and alerting may be off while tracing is on.
+        """
+        if not BUS.enabled:
+            return
+        cause = 0
+        if alert is not None and not alert.cleared:
+            cause = alert.eid
+        elif rule_name is not None and ALERTS.enabled:
+            cause = ALERTS.active_cause(rule_name, node.name)
+        if not cause:
+            cause = SPANS.open_id("deep_discharge", node.name)
+        self.last_trigger[node.name] = (trigger, cause)
 
     def act(self, node: Node, t: float) -> str:
         """Apply the Fig.-9 action ladder to a triggered node.
@@ -261,9 +294,13 @@ class SlowdownMonitor:
         if node.server.freq_index < cfg.max_throttle_index and node.server.throttle_down():
             self.throttles += 1
             if BUS.enabled:
+                # One dvfs_cap span covers first throttle to full recovery
+                # (start is idempotent while the episode stays open).
+                span_id = SPANS.start("dvfs_cap", node=node.name, t=t)
                 BUS.emit(
                     DvfsCapEvent(
                         t=t,
+                        span_id=span_id,
                         node=node.name,
                         freq_index=node.server.freq_index,
                         freq=node.server.frequency,
@@ -290,7 +327,12 @@ class SlowdownMonitor:
             node.discharge_cap_w = 0.0
             self.parks += 1
             if BUS.enabled:
-                BUS.emit(ParkEvent(t=t, node=node.name, reason="slowdown"))
+                span_id = SPANS.start("parked", node=node.name, t=t)
+                BUS.emit(
+                    ParkEvent(
+                        t=t, span_id=span_id, node=node.name, reason="slowdown"
+                    )
+                )
             if REGISTRY.enabled:
                 REGISTRY.counter("slowdown/parks").inc()
             return "parked"
@@ -313,18 +355,24 @@ class SlowdownMonitor:
         if self.scheduler is None:
             return
         moved = 0
-        for vm in list(node.server.vms):
-            target = self.scheduler.migration_target(vm, node.name)
-            if target is None:
-                continue
-            try:
-                self.cluster.migrate(vm.name, target)
-            except MigrationError:
-                continue
-            self.migrations += 1
-            moved += 1
-        if moved and BUS.enabled:
-            BUS.emit(EvacuationEvent(t=t, node=node.name, moved=moved))
+        # The evacuation span groups the burst of migrations it causes.
+        with SPANS.span("evacuation", node=node.name, t=t) as span_id:
+            for vm in list(node.server.vms):
+                target = self.scheduler.migration_target(vm, node.name)
+                if target is None:
+                    continue
+                try:
+                    self.cluster.migrate(vm.name, target)
+                except MigrationError:
+                    continue
+                self.migrations += 1
+                moved += 1
+            if moved and BUS.enabled:
+                BUS.emit(
+                    EvacuationEvent(
+                        t=t, span_id=span_id, node=node.name, moved=moved
+                    )
+                )
 
     def recover(self, node: Node) -> None:
         """Release parking/throttling/caps gradually as the battery
@@ -343,11 +391,15 @@ class SlowdownMonitor:
                 BUS.emit(
                     DvfsUncapEvent(
                         t=self._last_t,
+                        span_id=SPANS.open_id("dvfs_cap", node.name),
                         node=node.name,
                         freq_index=node.server.freq_index,
                         freq=node.server.frequency,
                     )
                 )
+                if node.server.freq_index == 0:
+                    # Back at full frequency: the cap episode is over.
+                    SPANS.end("dvfs_cap", node=node.name, t=self._last_t)
             node.discharge_cap_w = float("inf")
 
     def protected_floor(self, node: Node) -> float:
@@ -421,21 +473,28 @@ class SlowdownMonitor:
                     threshold=self.protected_floor(node),
                 )
             if self.check(node, draw):
-                action = self.act(node, t)
-                actions.append(f"{node.name}:{action}")
-                if self.first_action_t is None:
-                    self.first_action_t = t
-                if BUS.enabled:
-                    BUS.emit(
-                        SlowdownActionEvent(
-                            t=t,
-                            node=node.name,
-                            action=action,
-                            soc=node.battery.soc,
-                            draw_w=draw,
-                            cap_w=node.discharge_cap_w,
+                trigger, cause = self.last_trigger.pop(node.name, ("", 0))
+                # Everything the action ladder emits — migrations, DVFS
+                # caps, parks, evacuations — inherits the triggering
+                # alert/excursion as its cause through the ambient
+                # context, no signature plumbing needed.
+                with caused_by(cause):
+                    action = self.act(node, t)
+                    actions.append(f"{node.name}:{action}")
+                    if self.first_action_t is None:
+                        self.first_action_t = t
+                    if BUS.enabled:
+                        BUS.emit(
+                            SlowdownActionEvent(
+                                t=t,
+                                node=node.name,
+                                action=action,
+                                soc=node.battery.soc,
+                                draw_w=draw,
+                                cap_w=node.discharge_cap_w,
+                                trigger=trigger,
+                            )
                         )
-                    )
                 if REGISTRY.enabled:
                     REGISTRY.counter(f"slowdown/actions/{action}").inc()
             else:

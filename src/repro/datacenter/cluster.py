@@ -17,6 +17,7 @@ from repro.datacenter.vm import VM
 from repro.errors import ConfigurationError, MigrationError, SchedulingError
 from repro.obs import BUS, REGISTRY
 from repro.obs.events import VMMigratedEvent, VMPlacedEvent
+from repro.obs.spans import SPANS
 
 #: A server saturates when hosted VMs' mean utilisation exceeds this; used
 #: as the CPU resource constraint for *placement* feasibility.
@@ -96,7 +97,10 @@ class Cluster:
         vm.begin_migration(destination)  # validates pinning / same-host
         src.server.detach(vm)
         dst.server.attach(vm)
-        # Receiving work wakes a consolidation-parked server.
+        # Receiving work wakes a consolidation-parked server — which
+        # ends its parked interval (silent un-park, no WakeEvent).
+        if dst.server.policy_off:
+            SPANS.end("parked", node=destination)
         dst.server.policy_off = False
         if BUS.enabled:
             BUS.emit(

@@ -14,6 +14,14 @@ The observability substrate every control decision reports through:
   alerts go back onto :data:`BUS` as ``alert`` events.
 - :class:`~repro.obs.health.FleetHealthModel` folds the stream (live or
   a replayed JSONL trace) into per-battery aging attribution.
+- :data:`SPANS` — the process-local :class:`~repro.obs.spans.
+  SpanManager`; control paths open/close causal intervals on it, and
+  the ``caused_by``/``in_span`` context managers stamp provenance ids
+  onto every event emitted inside them.
+- :class:`~repro.obs.provenance.ProvenanceIndex` rebuilds the causal
+  DAG (live or from a trace) behind ``repro explain``;
+  :func:`~repro.obs.provenance.validate_trace` backs
+  ``repro trace validate``.
 - :mod:`repro.obs.export` serialises the registry (OpenMetrics / CSV).
 
 All three process-local singletons are *disabled* by default, and every
@@ -65,6 +73,8 @@ from repro.obs.events import (
     RunStartEvent,
     SlowdownActionEvent,
     SocCrossingEvent,
+    SpanEndEvent,
+    SpanStartEvent,
     TraceEvent,
     VMMigratedEvent,
     VMPlacedEvent,
@@ -72,6 +82,7 @@ from repro.obs.events import (
     event_from_dict,
     iter_events,
     read_events,
+    trace_segments,
 )
 from repro.obs.export import (
     PeriodicExportSink,
@@ -82,6 +93,11 @@ from repro.obs.export import (
 )
 from repro.obs.health import FleetHealthModel, FleetHealthReport
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry, REGISTRY
+from repro.obs.provenance import (
+    ProvenanceIndex,
+    TraceValidation,
+    validate_trace,
+)
 from repro.obs.sinks import (
     DEFAULT_MEMORY_SINK_MAXLEN,
     EventSink,
@@ -89,12 +105,21 @@ from repro.obs.sinks import (
     MemorySink,
     NullSink,
 )
+from repro.obs.spans import (
+    SPANS,
+    SpanManager,
+    caused_by,
+    current_cause,
+    current_span,
+    in_span,
+)
 from repro.obs.timers import STEP_PHASES, StepPhaseTimers, time_phase
 
 __all__ = [
     "BUS",
     "REGISTRY",
     "ALERTS",
+    "SPANS",
     "EVENT_TYPES",
     "STEP_PHASES",
     "DEFAULT_MEMORY_SINK_MAXLEN",
@@ -124,8 +149,17 @@ __all__ = [
     "event_from_dict",
     "iter_events",
     "read_events",
+    "trace_segments",
     "enable_observability",
     "disable_observability",
+    "SpanManager",
+    "caused_by",
+    "in_span",
+    "current_cause",
+    "current_span",
+    "ProvenanceIndex",
+    "TraceValidation",
+    "validate_trace",
     "RunStartEvent",
     "DayStartEvent",
     "SocCrossingEvent",
@@ -147,12 +181,19 @@ __all__ = [
     "CellCacheHitEvent",
     "CellRetryEvent",
     "CellFinishEvent",
+    "SpanStartEvent",
+    "SpanEndEvent",
 ]
 
 _active_jsonl: Optional[JsonlSink] = None
 
 
-def enable_observability(trace_path: Optional[str] = None) -> Optional[JsonlSink]:
+def enable_observability(
+    trace_path: Optional[str] = None,
+    compress: Optional[bool] = None,
+    rotate_bytes: Optional[int] = None,
+    rotate_events: Optional[int] = None,
+) -> Optional[JsonlSink]:
     """Turn the full layer on: registry, alert engine, optional JSONL sink.
 
     Returns the attached sink (``None`` when no path was given). The CLI
@@ -160,6 +201,10 @@ def enable_observability(trace_path: Optional[str] = None) -> Optional[JsonlSink
     tear it back down. The process alert engine gets the standard
     :func:`~repro.obs.alerts.default_rules` on first enable (rules added
     beforehand are kept) and publishes onto :data:`BUS`.
+
+    ``compress``/``rotate_bytes``/``rotate_events`` pass through to
+    :class:`~repro.obs.sinks.JsonlSink` (the ``--trace-gzip`` /
+    ``--trace-rotate-mb`` CLI flags).
     """
     global _active_jsonl
     REGISTRY.enabled = True
@@ -169,7 +214,12 @@ def enable_observability(trace_path: Optional[str] = None) -> Optional[JsonlSink
     ALERTS.bus = BUS
     ALERTS.enabled = True
     if trace_path is not None:
-        _active_jsonl = JsonlSink(trace_path)
+        _active_jsonl = JsonlSink(
+            trace_path,
+            compress=compress,
+            rotate_bytes=rotate_bytes,
+            rotate_events=rotate_events,
+        )
         BUS.add_sink(_active_jsonl)
     return _active_jsonl
 
@@ -184,3 +234,4 @@ def disable_observability() -> None:
     REGISTRY.enabled = False
     ALERTS.enabled = False
     ALERTS.reset()
+    SPANS.reset()

@@ -119,7 +119,12 @@ class AlertRule:
 
 @dataclass
 class ActiveAlert:
-    """Book-keeping for one (rule, key) currently in breach."""
+    """Book-keeping for one (rule, key) currently in breach.
+
+    ``eid`` is the bus event id of the latest emission for this episode
+    (0 when the engine has no enabled bus) — the causal anchor control
+    actions cite while the alert stays active but deduplicated.
+    """
 
     rule: AlertRule
     key: str
@@ -127,6 +132,7 @@ class ActiveAlert:
     last_emit_t: float
     value: float
     threshold: float
+    eid: int = 0
 
 
 class AlertEngine:
@@ -224,17 +230,21 @@ class AlertEngine:
         active = self._active.get(state_key)
         if rule.breached(value, line):
             if active is None:
-                self._active[state_key] = ActiveAlert(
+                active = self._active[state_key] = ActiveAlert(
                     rule=rule, key=key, since_t=t, last_emit_t=t,
                     value=value, threshold=line,
                 )
-                return self._fire(rule, key, value, line, t)
+                event = self._fire(rule, key, value, line, t)
+                active.eid = event.eid
+                return event
             # Dedup: an already-active alert re-emits only on renotify.
             active.value = value
             active.threshold = line
             if t - active.last_emit_t >= rule.renotify_s:
                 active.last_emit_t = t
-                return self._fire(rule, key, value, line, t)
+                event = self._fire(rule, key, value, line, t)
+                active.eid = event.eid or active.eid
+                return event
             return None
         if active is not None and rule.released(value, active.threshold):
             del self._active[state_key]
@@ -295,6 +305,15 @@ class AlertEngine:
             self._active.values(),
             key=lambda a: (-severity_rank(a.rule.severity), a.rule.name, a.key),
         )
+
+    def active_cause(self, rule_name: str, key: str) -> int:
+        """Event id anchoring an active (rule, key) breach, or 0.
+
+        Lets control code cite the alert that is *still* driving an
+        action even when dedup suppressed a fresh emission this pass.
+        """
+        active = self._active.get((rule_name, key))
+        return active.eid if active is not None else 0
 
     def fired(self, rule_name: Optional[str] = None) -> List[AlertEvent]:
         """Non-cleared alert emissions, optionally for one rule."""

@@ -26,6 +26,7 @@ this process (``--workers 1``, the default).
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator, List, Optional
 
 from repro.obs.events import TraceEvent
@@ -37,17 +38,24 @@ from repro.obs.sinks import (
     NullSink,
 )
 
+#: Ambient provenance context (see :mod:`repro.obs.spans` for the public
+#: ``caused_by``/``in_span`` managers). Defined here, next to the emit
+#: path that reads them, so ``spans`` can import ``bus`` without a cycle.
+CURRENT_CAUSE: ContextVar[int] = ContextVar("repro_obs_cause", default=0)
+CURRENT_SPAN: ContextVar[int] = ContextVar("repro_obs_span", default=0)
+
 
 class TraceBus:
     """Dispatches events to sinks; disabled when no real sink listens."""
 
-    __slots__ = ("enabled", "now", "n_emitted", "_sinks")
+    __slots__ = ("enabled", "now", "n_emitted", "_sinks", "_next_eid")
 
     def __init__(self) -> None:
         self.enabled: bool = False
         self.now: float = 0.0
         self.n_emitted: int = 0
         self._sinks: List[EventSink] = []
+        self._next_eid: int = 1
 
     # ------------------------------------------------------------------
     # Sink management
@@ -67,10 +75,11 @@ class TraceBus:
         self._recompute_enabled()
 
     def clear_sinks(self) -> None:
-        """Detach every sink and reset the clock/counter."""
+        """Detach every sink and reset the clock/counters."""
         self._sinks.clear()
         self.now = 0.0
         self.n_emitted = 0
+        self._next_eid = 1
         self._recompute_enabled()
 
     @property
@@ -83,13 +92,35 @@ class TraceBus:
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
+    def next_eid(self) -> int:
+        """Claim the next event id (used to pre-assign span ids)."""
+        eid = self._next_eid
+        self._next_eid += 1
+        return eid
+
     def emit(self, event: TraceEvent) -> None:
         """Deliver one event to every attached sink.
 
         Call sites must guard with ``if bus.enabled`` — that guard is the
         whole overhead story of the disabled path.
+
+        Emission stamps provenance in place before fan-out — a unique
+        ``eid``, plus ``cause_id``/``span_id`` from the ambient context
+        when the emit site did not set them — so live sinks and the
+        JSONL file see byte-identical provenance.
         """
         self.n_emitted += 1
+        if not event.eid:
+            event.eid = self._next_eid
+            self._next_eid += 1
+        if not event.cause_id:
+            cause = CURRENT_CAUSE.get()
+            if cause:
+                event.cause_id = cause
+        if not event.span_id:
+            span = CURRENT_SPAN.get()
+            if span:
+                event.span_id = span
         for sink in self._sinks:
             sink.emit(event)
 

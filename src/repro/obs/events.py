@@ -18,21 +18,40 @@ the type for round-tripping.
 
 from __future__ import annotations
 
+import gzip
 import json
+import os
 from dataclasses import dataclass, fields
-from typing import Any, ClassVar, Dict, Iterator, List, Type
+from typing import IO, Any, ClassVar, Dict, Iterator, List, Type
 
 from repro.errors import ConfigurationError
 
 #: kind -> event class, populated by ``__init_subclass__``.
 EVENT_TYPES: Dict[str, Type["TraceEvent"]] = {}
 
+#: Base fields that exist purely for causal provenance. They default to
+#: 0 ("absent") and are omitted from the serialised form when 0, so
+#: traces written before — or without — the provenance layer keep their
+#: exact shape and round-trip losslessly.
+PROVENANCE_FIELDS = ("eid", "span_id", "cause_id")
+
 
 @dataclass
 class TraceEvent:
-    """Base event: a timestamp plus a ``kind`` discriminator."""
+    """Base event: a timestamp plus a ``kind`` discriminator.
+
+    Every event also carries three optional provenance ids (all 0 when
+    unused): ``eid`` — a unique id the bus assigns at emit time;
+    ``span_id`` — the enclosing :class:`SpanStartEvent`'s ``eid``;
+    ``cause_id`` — the ``eid`` of the event that triggered this one.
+    The bus stamps ``span_id``/``cause_id`` from the ambient
+    :mod:`repro.obs.spans` context, so emit sites need no plumbing.
+    """
 
     t: float = 0.0
+    eid: int = 0
+    span_id: int = 0
+    cause_id: int = 0
 
     kind: ClassVar[str] = "event"
 
@@ -43,10 +62,17 @@ class TraceEvent:
             EVENT_TYPES[kind] = cls
 
     def to_dict(self) -> Dict[str, Any]:
-        """Flat JSON-ready dictionary (``kind`` first for readability)."""
+        """Flat JSON-ready dictionary (``kind`` first for readability).
+
+        Provenance ids are omitted while 0 so un-instrumented events
+        keep the pre-provenance wire shape.
+        """
         out: Dict[str, Any] = {"kind": self.kind}
         for f in fields(self):
-            out[f.name] = getattr(self, f.name)
+            value = getattr(self, f.name)
+            if f.name in PROVENANCE_FIELDS and not value:
+                continue
+            out[f.name] = value
         return out
 
     def to_json(self) -> str:
@@ -188,7 +214,8 @@ class SlowdownActionEvent(TraceEvent):
     """The Fig.-9 monitor acted on a stressed node.
 
     ``action`` is one of ``migrated``/``throttled``/``capped``/``parked``;
-    ``cap_w`` is the discharge cap left on the node afterwards.
+    ``cap_w`` is the discharge cap left on the node afterwards;
+    ``trigger`` names which check tripped (``ddt``/``dr``/``ration``).
     """
 
     node: str = ""
@@ -196,6 +223,7 @@ class SlowdownActionEvent(TraceEvent):
     soc: float = 0.0
     draw_w: float = 0.0
     cap_w: float = 0.0
+    trigger: str = ""
 
     kind: ClassVar[str] = "slowdown_action"
 
@@ -277,6 +305,40 @@ class DoDGoalEvent(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Spans (causal intervals)
+# ----------------------------------------------------------------------
+@dataclass
+class SpanStartEvent(TraceEvent):
+    """A long-lived causal interval opened (see :mod:`repro.obs.spans`).
+
+    The span's id *is* this event's ``eid`` (``span_id`` is set to the
+    same value so the start line is self-describing). ``parent_id``
+    links to an enclosing span's start ``eid`` (0 at top level), and
+    ``scope`` names the clock domain: ``"run"`` spans use the simulation
+    clock, ``"campaign"`` spans wall-clock seconds since campaign start.
+    """
+
+    span: str = ""
+    node: str = ""
+    parent_id: int = 0
+    scope: str = "run"
+
+    kind: ClassVar[str] = "span_start"
+
+
+@dataclass
+class SpanEndEvent(TraceEvent):
+    """A span closed; ``span_id`` names the matching :class:`SpanStartEvent`."""
+
+    span: str = ""
+    node: str = ""
+    scope: str = "run"
+    duration_s: float = 0.0
+
+    kind: ClassVar[str] = "span_end"
+
+
+# ----------------------------------------------------------------------
 # Campaign runner
 # ----------------------------------------------------------------------
 @dataclass
@@ -339,24 +401,83 @@ def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
 
 
 def read_events(path: str, strict: bool = True) -> List[TraceEvent]:
-    """Read a whole JSONL trace file into typed events."""
+    """Read a whole JSONL trace (all rotated segments) into typed events."""
     return list(iter_events(path, strict=strict))
 
 
-def iter_events(path: str, strict: bool = True) -> Iterator[TraceEvent]:
-    """Stream typed events from a JSONL trace file.
+def segment_path(base: str, index: int) -> str:
+    """Path of rotation segment ``index`` for a trace at ``base``.
 
-    With ``strict=False``, lines with unknown kinds are skipped instead
-    of raising (useful for forward-compatible tooling).
+    Segment 0 is the base path itself; later segments insert the index
+    before any ``.gz`` suffix (``trace.jsonl.1``, ``trace.jsonl.1.gz``)
+    so sort order matches write order without any renaming on rollover.
     """
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            data = json.loads(line)
-            try:
-                yield event_from_dict(data)
-            except ConfigurationError:
-                if strict:
-                    raise
+    if index == 0:
+        return base
+    if base.endswith(".gz"):
+        return f"{base[:-3]}.{index}.gz"
+    return f"{base}.{index}"
+
+
+def trace_segments(path: str) -> List[str]:
+    """All on-disk segments of a possibly rotated/gzipped trace, in order.
+
+    Accepts the path the trace was requested at: if ``path`` itself is
+    missing but ``path + ".gz"`` exists (the sink compressed it), the
+    gzipped family is used. Raises :class:`FileNotFoundError` when no
+    first segment exists.
+    """
+    base = path
+    if not os.path.exists(base):
+        if not base.endswith(".gz") and os.path.exists(base + ".gz"):
+            base = base + ".gz"
+        else:
+            raise FileNotFoundError(path)
+    segments = [base]
+    index = 1
+    while True:
+        candidate = segment_path(base, index)
+        if os.path.exists(candidate):
+            segments.append(candidate)
+        elif not candidate.endswith(".gz") and os.path.exists(candidate + ".gz"):
+            segments.append(candidate + ".gz")
+        else:
+            break
+        index += 1
+    return segments
+
+
+def open_trace_segment(path: str) -> IO[str]:
+    """Open one trace segment for text reading, gunzipping if needed."""
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def iter_trace_lines(path: str) -> Iterator[str]:
+    """Stream raw JSONL lines across every rotated/gzipped segment."""
+    for segment in trace_segments(path):
+        with open_trace_segment(segment) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield line
+
+
+def iter_events(path: str, strict: bool = True) -> Iterator[TraceEvent]:
+    """Stream typed events from a JSONL trace.
+
+    Rotated segments (``trace.jsonl.1``, ...) and gzipped segments
+    (``.gz``) are read transparently, so every replay consumer —
+    ``repro trace``/``health``/``explain``, :class:`~repro.obs.health.
+    FleetHealthModel` — handles rotated traces for free. With
+    ``strict=False``, lines with unknown kinds are skipped instead of
+    raising (useful for forward-compatible tooling).
+    """
+    for line in iter_trace_lines(path):
+        data = json.loads(line)
+        try:
+            yield event_from_dict(data)
+        except ConfigurationError:
+            if strict:
+                raise

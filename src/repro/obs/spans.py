@@ -1,0 +1,228 @@
+"""Causal spans and the ambient cause context.
+
+A *span* is a long-lived interval in a run's life — a deep-discharge
+excursion below the 40 % SoC line, a DVFS cap→uncap episode, a park,
+an evacuation, a consolidation epoch, a DoD-goal plan window, a
+campaign cell. Spans are first-class events on the trace bus: a
+:class:`~repro.obs.events.SpanStartEvent` opens one (the span's id *is*
+that event's ``eid``) and a :class:`~repro.obs.events.SpanEndEvent`
+closes it, so any JSONL trace replays into the same interval structure
+(:class:`~repro.obs.provenance.ProvenanceIndex` does exactly that).
+
+Two contextvar-based managers thread provenance to deep emit sites
+without touching call signatures — the ``CauseContext`` of the issue:
+
+``caused_by(eid)``
+    every event emitted inside the block gets ``cause_id=eid`` (unless
+    the emit site set one explicitly);
+``in_span(span_id)``
+    every event emitted inside gets ``span_id=span_id``, and spans
+    started inside record it as their ``parent_id``.
+
+The module-level :data:`SPANS` manager tracks open spans by
+``(name, node)`` so distant code (e.g. ``cluster.migrate`` waking a
+parked server) can close a span it did not open. Closing a span feeds
+its duration into the metric registry as a ``span/<name>`` histogram,
+which the OpenMetrics exporter publishes as a duration summary for
+free.
+
+Everything here is inert while the bus is disabled: ``start`` returns
+0, the context managers set nothing, and no event is allocated.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.obs.bus import BUS, CURRENT_CAUSE, CURRENT_SPAN, TraceBus
+from repro.obs.events import SpanEndEvent, SpanStartEvent
+from repro.obs.metrics import REGISTRY
+
+#: The span taxonomy this codebase emits (documentation + validation aid;
+#: the layer itself accepts any name).
+SPAN_NAMES = (
+    "deep_discharge",  # battery below the Fig.-9 low-SoC line
+    "dvfs_cap",  # first throttle-down until back at full frequency
+    "parked",  # server policy-off until wake / migration-in
+    "evacuation",  # moving VMs off a node about to park
+    "consolidation",  # one BAAT night-consolidation epoch
+    "dod_plan",  # one Eq.-7 DoD-goal plan window
+    "campaign_cell",  # one inline campaign cell (campaign clock)
+    "hiding_rebalance",  # one BAAT-H random-migration burst
+)
+
+
+def current_cause() -> int:
+    """The ambient cause eid events are being stamped with (0 if none)."""
+    return CURRENT_CAUSE.get()
+
+
+def current_span() -> int:
+    """The ambient span id events are being stamped with (0 if none)."""
+    return CURRENT_SPAN.get()
+
+
+@contextmanager
+def caused_by(eid: int) -> Iterator[None]:
+    """Stamp ``cause_id=eid`` on events emitted in the block (no-op for 0)."""
+    if not eid:
+        yield
+        return
+    token = CURRENT_CAUSE.set(eid)
+    try:
+        yield
+    finally:
+        CURRENT_CAUSE.reset(token)
+
+
+@contextmanager
+def in_span(span_id: int) -> Iterator[None]:
+    """Stamp ``span_id`` on events emitted in the block (no-op for 0)."""
+    if not span_id:
+        yield
+        return
+    token = CURRENT_SPAN.set(span_id)
+    try:
+        yield
+    finally:
+        CURRENT_SPAN.reset(token)
+
+
+@dataclass
+class OpenSpan:
+    """Book-keeping for a span whose end has not been emitted yet."""
+
+    span_id: int
+    name: str
+    node: str
+    t_start: float
+    scope: str
+
+
+class SpanManager:
+    """Tracks open spans by ``(name, node)`` and emits their events."""
+
+    def __init__(self, bus: Optional[TraceBus] = None) -> None:
+        self.bus = bus if bus is not None else BUS
+        self._open: Dict[Tuple[str, str], OpenSpan] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        name: str,
+        node: str = "",
+        t: Optional[float] = None,
+        cause: int = 0,
+        scope: str = "run",
+    ) -> int:
+        """Open a span; returns its id (0 when the bus is disabled).
+
+        Re-entrant: starting an already-open ``(name, node)`` span
+        returns the existing id without emitting a second start.
+        """
+        bus = self.bus
+        if not bus.enabled:
+            return 0
+        key = (name, node)
+        existing = self._open.get(key)
+        if existing is not None:
+            return existing.span_id
+        t_start = bus.now if t is None else t
+        event = SpanStartEvent(
+            t=t_start,
+            span=name,
+            node=node,
+            parent_id=CURRENT_SPAN.get(),
+            scope=scope,
+        )
+        event.eid = bus.next_eid()
+        event.span_id = event.eid  # a span's id is its start event's eid
+        if cause:
+            event.cause_id = cause
+        bus.emit(event)
+        self._open[key] = OpenSpan(event.eid, name, node, t_start, scope)
+        return event.eid
+
+    def end(self, name: str, node: str = "", t: Optional[float] = None) -> int:
+        """Close a span if open; returns its id (0 if it was not open)."""
+        span = self._open.pop((name, node), None)
+        if span is None:
+            return 0
+        bus = self.bus
+        if not bus.enabled:
+            return 0
+        t_end = bus.now if t is None else t
+        duration = max(0.0, t_end - span.t_start)
+        bus.emit(
+            SpanEndEvent(
+                t=t_end,
+                span_id=span.span_id,
+                span=name,
+                node=node,
+                scope=span.scope,
+                duration_s=duration,
+            )
+        )
+        if REGISTRY.enabled:
+            REGISTRY.histogram(f"span/{name}").observe(duration)
+        return span.span_id
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        node: str = "",
+        t: Optional[float] = None,
+        cause: int = 0,
+        scope: str = "run",
+    ) -> Iterator[int]:
+        """Open a span around a block and make it the ambient span.
+
+        Events emitted inside are stamped with the span's id, and nested
+        span starts record it as ``parent_id``. The end is emitted at
+        block exit with the bus clock (or the same ``t`` if given — sim
+        time does not advance inside one control pass).
+        """
+        span_id = self.start(name, node=node, t=t, cause=cause, scope=scope)
+        if not span_id:
+            yield 0
+            return
+        token = CURRENT_SPAN.set(span_id)
+        try:
+            yield span_id
+        finally:
+            CURRENT_SPAN.reset(token)
+            self.end(name, node=node, t=t)
+
+    # ------------------------------------------------------------------
+    # Queries / reset
+    # ------------------------------------------------------------------
+    def open_id(self, name: str, node: str = "") -> int:
+        """Id of the open ``(name, node)`` span, or 0."""
+        span = self._open.get((name, node))
+        return span.span_id if span is not None else 0
+
+    def open_spans(self) -> Dict[Tuple[str, str], OpenSpan]:
+        """Snapshot of currently open spans (copy)."""
+        return dict(self._open)
+
+    def reset(self, scope: Optional[str] = None) -> None:
+        """Forget open spans without emitting ends.
+
+        A new simulation run calls ``reset(scope="run")`` so stale
+        intervals from a previous run in the same process cannot leak
+        into it; campaign-scope spans (the enclosing cell) survive.
+        """
+        if scope is None:
+            self._open.clear()
+            return
+        for key in [k for k, v in self._open.items() if v.scope == scope]:
+            del self._open[key]
+
+
+#: The process-wide span manager, bound to the process-wide bus.
+SPANS = SpanManager(BUS)

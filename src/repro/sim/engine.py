@@ -33,6 +33,7 @@ from repro.obs.events import (
     RunStartEvent,
     SocCrossingEvent,
 )
+from repro.obs.spans import SPANS
 from repro.obs.timers import StepPhaseTimers
 from repro.rng import spawn
 from repro.sim.recorder import LOW_SOC_THRESHOLD, TraceRecorder
@@ -109,6 +110,10 @@ class Simulation:
         self._begun = True
         if BUS.enabled:
             BUS.now = 0.0
+            # A previous run in this process may have ended mid-excursion;
+            # its open run-scope spans must not leak into this run's trace
+            # (campaign-scope spans — the enclosing cell — survive).
+            SPANS.reset(scope="run")
             BUS.emit(
                 RunStartEvent(
                     t=0.0,
@@ -271,22 +276,36 @@ class Simulation:
         self._step += 1
 
     def _emit_soc_crossings(self, t: float) -> None:
-        """Emit an event whenever a battery crosses the low-SoC line."""
+        """Emit an event whenever a battery crosses the low-SoC line.
+
+        A downward crossing also opens the node's ``deep_discharge``
+        span (caused by the crossing event), and the matching upward
+        crossing closes it — the root interval most Fig.-9 provenance
+        chains bottom out at.
+        """
         below = self._soc_below
         for node in self.cluster:
             soc = node.battery.soc
             now_below = soc < LOW_SOC_THRESHOLD
             if now_below != below[node.name]:
                 below[node.name] = now_below
-                BUS.emit(
-                    SocCrossingEvent(
-                        t=t,
-                        node=node.name,
-                        soc=soc,
-                        threshold=LOW_SOC_THRESHOLD,
-                        direction="down" if now_below else "up",
-                    )
+                crossing = SocCrossingEvent(
+                    t=t,
+                    node=node.name,
+                    soc=soc,
+                    threshold=LOW_SOC_THRESHOLD,
+                    direction="down" if now_below else "up",
                 )
+                BUS.emit(crossing)
+                if now_below:
+                    SPANS.start(
+                        "deep_discharge",
+                        node=node.name,
+                        t=t,
+                        cause=crossing.eid,
+                    )
+                else:
+                    SPANS.end("deep_discharge", node=node.name, t=t)
 
     def run(self) -> SimResult:
         """Execute the whole (remaining) trace and return the results."""

@@ -175,3 +175,80 @@ class TestObservabilityCommands:
         assert main(["stats", "--day", "sunny", "--dt", "300", "--profile"]) == 0
         out = capsys.readouterr().out
         assert "profile (top 15 by cumulative time):" in out
+
+
+class TestProvenanceCommands:
+    def test_trace_validate_clean_trace(self, trace_pair, capsys):
+        path_a, _ = trace_pair
+        assert main(["trace", "validate", path_a]) == 0
+        out = capsys.readouterr().out
+        assert "-> OK" in out
+
+    def test_trace_validate_flags_corruption(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "no_such_kind", "t": 0.0}\n')
+        assert main(["trace", "validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        assert "unknown event kind" in out
+
+    def test_trace_validate_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "validate"])
+
+    def test_explain_prints_chains_and_aggregates(self, trace_pair, capsys):
+        _, path_b = trace_pair  # rainy day: the monitor acts
+        assert main(["explain", path_b]) == 0
+        out = capsys.readouterr().out
+        assert "action triggers" in out
+        assert "time in span" in out
+
+    def test_explain_filters_by_action_kind(self, trace_pair, capsys):
+        _, path_b = trace_pair
+        assert main(["explain", path_b, "--action", "slowdown_action"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_explain_single_event(self, trace_pair, capsys):
+        from repro.obs.provenance import ProvenanceIndex
+
+        _, path_b = trace_pair
+        index = ProvenanceIndex.from_trace(path_b)
+        assert index.actions, "rainy trace must contain actions"
+        eid = index.actions[0]
+        assert main(["explain", path_b, "--event", str(eid)]) == 0
+        out = capsys.readouterr().out
+        assert f"(#{eid})" in out
+
+    def test_explain_unknown_event_exits(self, trace_pair):
+        path_a, _ = trace_pair
+        with pytest.raises(SystemExit):
+            main(["explain", path_a, "--event", "999999999"])
+
+    def test_explain_missing_trace_exits(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "no-such-trace.jsonl"])
+
+    def test_trace_gzip_flag_round_trips(self, tmp_path, capsys):
+        path = str(tmp_path / "gz.jsonl")
+        assert (
+            main(
+                [
+                    "stats", "--day", "sunny", "--dt", "300",
+                    "--trace", path, "--trace-gzip",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", "validate", path]) == 0
+        assert main(["explain", path]) == 0
+
+    def test_trace_rotate_mb_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "stats", "--day", "sunny", "--dt", "300",
+                    "--trace", "x.jsonl", "--trace-rotate-mb", "0",
+                ]
+            )

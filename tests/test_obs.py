@@ -176,6 +176,76 @@ class TestJsonlRoundTrip:
 
 
 # ----------------------------------------------------------------------
+# Rotation and compression
+# ----------------------------------------------------------------------
+class TestJsonlRotationAndGzip:
+    def _emit_days(self, sink, n):
+        events = [DayStartEvent(t=120.0 * i, day_index=i) for i in range(n)]
+        for ev in events:
+            sink.emit(ev)
+        sink.close()
+        return events
+
+    def test_event_count_rotation_round_trips(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path, rotate_events=4)
+        events = self._emit_days(sink, 10)
+        assert sink.segment_paths == [path, f"{path}.1", f"{path}.2"]
+        for segment in sink.segment_paths:
+            assert (tmp_path / segment.rsplit("/", 1)[1]).exists()
+        # One read walks every segment transparently, in write order.
+        assert read_events(path) == events
+
+    def test_byte_rotation_round_trips(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path, rotate_bytes=120)
+        events = self._emit_days(sink, 12)
+        assert len(sink.segment_paths) > 1
+        assert read_events(path) == events
+
+    def test_gzip_suffix_implies_compression(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl.gz")
+        sink = JsonlSink(path)
+        events = self._emit_days(sink, 5)
+        import gzip
+
+        with gzip.open(path, "rt") as fh:
+            assert len(fh.readlines()) == 5
+        assert read_events(path) == events
+
+    def test_compress_flag_appends_gz_suffix(self, tmp_path):
+        base = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(base, compress=True, rotate_events=2)
+        events = self._emit_days(sink, 5)
+        assert sink.path == f"{base}.gz"
+        assert sink.segment_paths == [
+            f"{base}.gz", f"{base}.1.gz", f"{base}.2.gz"
+        ]
+        # Readers given the *uncompressed* base name fall back to .gz.
+        assert read_events(base) == events
+        assert read_events(f"{base}.gz") == events
+
+    def test_stream_target_rejects_rotation_and_compression(self, tmp_path):
+        with open(tmp_path / "trace.jsonl", "w", encoding="utf-8") as fh:
+            with pytest.raises(ConfigurationError):
+                JsonlSink(fh, rotate_events=4)
+            with pytest.raises(ConfigurationError):
+                JsonlSink(fh, compress=True)
+
+    def test_enable_observability_passes_rotation_through(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = enable_observability(path, rotate_events=3, compress=True)
+        try:
+            for i in range(7):
+                BUS.emit(DayStartEvent(t=120.0 * i, day_index=i))
+        finally:
+            disable_observability()
+        assert sink.path == f"{path}.gz"
+        assert len(sink.segment_paths) == 3
+        assert len(read_events(path)) == 7
+
+
+# ----------------------------------------------------------------------
 # Metric registry
 # ----------------------------------------------------------------------
 class TestMetricRegistry:

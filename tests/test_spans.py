@@ -1,0 +1,200 @@
+"""Tests for the span/causality layer (`repro.obs.spans`).
+
+Spans are first-class bus events (start eid == span id), the
+``caused_by``/``in_span`` context managers stamp provenance onto every
+event emitted inside them, and the engine opens/closes the
+``deep_discharge`` excursion span at SoC crossings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    ALERTS,
+    BUS,
+    REGISTRY,
+    MemorySink,
+    disable_observability,
+)
+from repro.obs.events import DayStartEvent, SocCrossingEvent
+from repro.obs.spans import SPANS, caused_by, current_cause, current_span, in_span
+from repro.sim.engine import Simulation
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    BUS.clear_sinks()
+    REGISTRY.enabled = False
+    REGISTRY.reset()
+    ALERTS.enabled = False
+    ALERTS.reset()
+    SPANS.reset()
+    yield
+    disable_observability()
+    BUS.clear_sinks()
+    REGISTRY.enabled = False
+    REGISTRY.reset()
+    ALERTS.reset()
+    SPANS.reset()
+
+
+@pytest.fixture
+def sink():
+    memory = MemorySink()
+    BUS.add_sink(memory)
+    yield memory
+    BUS.remove_sink(memory)
+
+
+class TestSpanLifecycle:
+    def test_disabled_bus_is_inert(self):
+        assert SPANS.start("deep_discharge", node="n0", t=1.0) == 0
+        assert SPANS.end("deep_discharge", node="n0", t=2.0) == 0
+        assert not SPANS.open_spans()
+
+    def test_start_end_emit_matched_events(self, sink):
+        span_id = SPANS.start("dvfs_cap", node="n0", t=10.0)
+        assert span_id > 0
+        assert SPANS.open_id("dvfs_cap", "n0") == span_id
+        assert SPANS.end("dvfs_cap", node="n0", t=70.0) == span_id
+        start, end = sink.events
+        assert start.kind == "span_start"
+        assert start.eid == span_id and start.span_id == span_id
+        assert start.span == "dvfs_cap" and start.node == "n0"
+        assert end.kind == "span_end"
+        assert end.span_id == span_id
+        assert end.duration_s == pytest.approx(60.0)
+
+    def test_start_is_idempotent_per_name_node(self, sink):
+        first = SPANS.start("parked", node="n0", t=0.0)
+        again = SPANS.start("parked", node="n0", t=5.0)
+        other = SPANS.start("parked", node="n1", t=5.0)
+        assert first == again
+        assert other != first
+        assert sum(e.kind == "span_start" for e in sink.events) == 2
+
+    def test_end_without_open_span_is_silent(self, sink):
+        assert SPANS.end("evacuation", node="n0", t=1.0) == 0
+        assert not sink.events
+
+    def test_end_feeds_duration_histogram(self, sink):
+        REGISTRY.enabled = True
+        SPANS.start("consolidation", t=0.0)
+        SPANS.end("consolidation", t=120.0)
+        hist = REGISTRY.snapshot()["histograms"]["span/consolidation"]
+        assert hist["count"] == 1
+        assert hist["max"] == pytest.approx(120.0)
+
+    def test_reset_by_scope(self, sink):
+        SPANS.start("deep_discharge", node="n0", t=0.0)
+        cell = SPANS.start("campaign_cell", node="cell", t=0.0, scope="campaign")
+        SPANS.reset(scope="run")
+        assert SPANS.open_id("deep_discharge", "n0") == 0
+        assert SPANS.open_id("campaign_cell", "cell") == cell
+        SPANS.reset()
+        assert not SPANS.open_spans()
+
+    def test_reset_emits_no_end_events(self, sink):
+        SPANS.start("deep_discharge", node="n0", t=0.0)
+        SPANS.reset()
+        assert [e.kind for e in sink.events] == ["span_start"]
+
+
+class TestCauseContext:
+    def test_caused_by_stamps_events(self, sink):
+        with caused_by(41):
+            assert current_cause() == 41
+            BUS.emit(DayStartEvent(t=0.0, day_index=0))
+        assert current_cause() == 0
+        assert sink.events[0].cause_id == 41
+
+    def test_explicit_cause_wins_over_ambient(self, sink):
+        with caused_by(41):
+            BUS.emit(DayStartEvent(t=0.0, day_index=0, cause_id=7))
+        assert sink.events[0].cause_id == 7
+
+    def test_zero_ids_are_no_ops(self, sink):
+        with caused_by(0), in_span(0):
+            BUS.emit(DayStartEvent(t=0.0, day_index=0))
+        event = sink.events[0]
+        assert event.cause_id == 0 and event.span_id == 0
+
+    def test_in_span_stamps_events(self, sink):
+        with SPANS.span("evacuation", node="n0", t=0.0) as span_id:
+            assert current_span() == span_id
+            BUS.emit(DayStartEvent(t=0.0, day_index=0))
+        start, inner, end = sink.events
+        assert inner.span_id == span_id
+        assert end.kind == "span_end"
+        assert current_span() == 0
+
+    def test_nested_span_records_parent(self, sink):
+        with SPANS.span("consolidation", t=0.0) as outer:
+            inner = SPANS.start("parked", node="n0", t=0.0)
+        records = {e.eid: e for e in sink.events if e.kind == "span_start"}
+        assert records[inner].parent_id == outer
+        assert records[outer].parent_id == 0
+
+    def test_span_cause_recorded_on_start_event(self, sink):
+        BUS.emit(DayStartEvent(t=0.0, day_index=0))
+        trigger = sink.events[0].eid
+        span_id = SPANS.start("deep_discharge", node="n0", t=0.0, cause=trigger)
+        start = sink.events[-1]
+        assert start.eid == span_id
+        assert start.cause_id == trigger
+
+
+class TestEngineSpans:
+    def test_soc_crossing_opens_deep_discharge_span(
+        self, tiny_scenario, tmp_path
+    ):
+        from dataclasses import replace
+
+        from repro.core.policies.factory import make_policy
+        from repro.solar.weather import DayClass
+
+        scenario = replace(tiny_scenario, initial_fade=0.15)
+        trace = scenario.trace_generator().day(DayClass.RAINY)
+        sink = MemorySink(maxlen=None)
+        BUS.add_sink(sink)
+        try:
+            Simulation(scenario, make_policy("baat"), trace).run()
+        finally:
+            BUS.remove_sink(sink)
+        crossings = [e for e in sink.events if isinstance(e, SocCrossingEvent)]
+        starts = {
+            e.cause_id: e
+            for e in sink.events
+            if e.kind == "span_start" and e.span == "deep_discharge"
+        }
+        downs = [c for c in crossings if c.direction == "down"]
+        assert downs, "rainy high-fade day must dip below the 40 % line"
+        for crossing in downs:
+            assert crossing.eid in starts, "every down-crossing opens a span"
+        # Upward crossings close them: span_end count matches up-crossings.
+        ends = [
+            e
+            for e in sink.events
+            if e.kind == "span_end" and e.span == "deep_discharge"
+        ]
+        ups = [c for c in crossings if c.direction == "up"]
+        assert len(ends) == len(ups)
+
+    def test_second_run_does_not_leak_open_spans(self, tiny_scenario):
+        from repro.core.policies.factory import make_policy
+        from repro.solar.weather import DayClass
+
+        sink = MemorySink(maxlen=None)
+        BUS.add_sink(sink)
+        try:
+            trace = tiny_scenario.trace_generator().day(DayClass.SUNNY)
+            SPANS.start("deep_discharge", node="stale", t=0.0)
+            Simulation(tiny_scenario, make_policy("e-buff"), trace).run()
+        finally:
+            BUS.remove_sink(sink)
+        # The stale span was dropped at run start, not closed mid-run.
+        assert SPANS.open_id("deep_discharge", "stale") == 0
+        assert not any(
+            e.kind == "span_end" and e.node == "stale" for e in sink.events
+        )
