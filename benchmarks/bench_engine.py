@@ -1,0 +1,189 @@
+"""Bench: the fleet stepper must beat the reference stepper at scale.
+
+The vectorized struct-of-arrays fast path (``Scenario(stepper="fleet")``)
+exists to make rack-scale sweeps tractable; it is bit-compatible with the
+per-node reference stepper (tests/test_fleet_equivalence.py), so its only
+reason to exist is speed. This bench times identical two-cloudy-day
+e-Buff runs through both steppers at 6, 48 and 192 nodes and reports
+steps/second, the fleet/reference speedup per size, and a per-phase
+wall-clock breakdown (control / power / advance / record, via
+:class:`~repro.obs.timers.StepPhaseTimers`) at the 48-node point.
+
+Acceptance (gated in CI like ``BENCH_obs.json``): the fleet stepper is
+at least :data:`MIN_SPEEDUP_AT_SCALE` times faster than the reference at
+every size >= :data:`SCALE_THRESHOLD_NODES` nodes. The 6-node prototype
+size is reported for context only — at that scale python overhead
+dominates and parity is acceptable.
+
+Run standalone (``python benchmarks/bench_engine.py --json
+BENCH_engine.json``) or through pytest (``pytest
+benchmarks/bench_engine.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+
+from repro.core.policies.factory import make_policy
+from repro.obs import REGISTRY
+from repro.obs.timers import STEP_PHASES
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+from repro.solar.weather import DayClass
+
+#: Required fleet/reference speedup at and above SCALE_THRESHOLD_NODES.
+MIN_SPEEDUP_AT_SCALE = 3.0
+
+#: Node count from which the speedup requirement applies.
+SCALE_THRESHOLD_NODES = 48
+
+#: Fleet sizes measured: the paper's 6-node prototype, a rack, four racks.
+SIZES = (6, 48, 192)
+
+#: Best-of rounds per (size, stepper); fewer at the largest size where a
+#: single reference run already dominates the bench's wall time.
+REPEATS = {6: 3, 48: 3, 192: 2}
+
+#: Two cloudy days at dt = 60 s: discharge, charge, and rest segments
+#: all exercised, 2880 steps.
+DAYS = (DayClass.CLOUDY, DayClass.CLOUDY)
+DT_S = 60.0
+
+
+def _scenario(n_nodes: int, stepper: str) -> Scenario:
+    return Scenario(n_nodes=n_nodes, dt_s=DT_S, stepper=stepper, seed=11)
+
+
+def _run_seconds(scenario: Scenario) -> tuple[float, int]:
+    """Wall-clock seconds and step count for one full run."""
+    trace = scenario.trace_generator().days(list(DAYS))
+    sim = Simulation(scenario, make_policy("e-buff"), trace)
+    t0 = perf_counter()
+    sim.run()
+    return perf_counter() - t0, len(trace.power_w)
+
+
+def _phase_breakdown(n_nodes: int, stepper: str) -> dict:
+    """Per-phase wall totals (s) from one registry-enabled run."""
+    REGISTRY.enabled = True
+    try:
+        _run_seconds(_scenario(n_nodes, stepper))
+        return {
+            name: REGISTRY.histogram(f"phase/{name}").to_dict()
+            for name in STEP_PHASES
+        }
+    finally:
+        REGISTRY.enabled = False
+        REGISTRY.reset()
+
+
+def measure() -> dict:
+    """Time both steppers at every size; best-of-``REPEATS`` per cell.
+
+    Reference and fleet runs are interleaved within each round so slow
+    machine-load drift hits both steppers equally.
+    """
+    _run_seconds(_scenario(6, "fleet"))  # warm-up: imports, numpy caches
+    sizes = []
+    for n_nodes in SIZES:
+        best = {"reference": float("inf"), "fleet": float("inf")}
+        steps = 0
+        for _ in range(REPEATS[n_nodes]):
+            for stepper in ("reference", "fleet"):
+                seconds, steps = _run_seconds(_scenario(n_nodes, stepper))
+                best[stepper] = min(best[stepper], seconds)
+        sizes.append(
+            {
+                "n_nodes": n_nodes,
+                "steps": steps,
+                "reference_s": best["reference"],
+                "fleet_s": best["fleet"],
+                "reference_steps_per_s": steps / best["reference"],
+                "fleet_steps_per_s": steps / best["fleet"],
+                "speedup": best["reference"] / best["fleet"],
+            }
+        )
+    breakdown = {
+        stepper: _phase_breakdown(SCALE_THRESHOLD_NODES, stepper)
+        for stepper in ("reference", "fleet")
+    }
+    return {"sizes": sizes, "phase_breakdown": breakdown}
+
+
+def report(results: dict) -> str:
+    lines = [
+        f"{'nodes':>6} {'steps':>6} {'reference':>12} {'fleet':>12} "
+        f"{'ref steps/s':>12} {'fleet steps/s':>14} {'speedup':>8}"
+    ]
+    for row in results["sizes"]:
+        lines.append(
+            f"{row['n_nodes']:>6} {row['steps']:>6} "
+            f"{row['reference_s'] * 1e3:>10.1f} ms {row['fleet_s'] * 1e3:>10.1f} ms "
+            f"{row['reference_steps_per_s']:>12.0f} "
+            f"{row['fleet_steps_per_s']:>14.0f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    lines.append(f"phase breakdown at {SCALE_THRESHOLD_NODES} nodes (wall s):")
+    for stepper, phases in results["phase_breakdown"].items():
+        parts = ", ".join(
+            f"{name} {phases[name]['total']:.3f}" for name in STEP_PHASES
+        )
+        lines.append(f"  {stepper:>9}: {parts}")
+    return "\n".join(lines)
+
+
+def payload(results: dict) -> dict:
+    """The machine-readable form of one measurement (``BENCH_engine.json``)."""
+    at_scale = [
+        row for row in results["sizes"] if row["n_nodes"] >= SCALE_THRESHOLD_NODES
+    ]
+    return {
+        **results,
+        "min_speedup_at_scale": MIN_SPEEDUP_AT_SCALE,
+        "scale_threshold_nodes": SCALE_THRESHOLD_NODES,
+        "ok": all(row["speedup"] >= MIN_SPEEDUP_AT_SCALE for row in at_scale),
+    }
+
+
+def test_engine_speedup(record_property):
+    results = measure()
+    print()
+    print(report(results))
+    data = payload(results)
+    record_property("engine_bench", data)
+    for row in results["sizes"]:
+        if row["n_nodes"] >= SCALE_THRESHOLD_NODES:
+            assert row["speedup"] >= MIN_SPEEDUP_AT_SCALE, (
+                f"fleet speedup {row['speedup']:.2f}x at {row['n_nodes']} "
+                f"nodes is below the {MIN_SPEEDUP_AT_SCALE}x floor"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the measurements as JSON (the BENCH_engine.json shape)",
+    )
+    args = parser.parse_args(argv)
+    results = measure()
+    print(report(results))
+    data = payload(results)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"engine_bench": data}, fh, indent=2, sort_keys=True)
+    if not data["ok"]:
+        print(
+            f"FAIL: fleet speedup below {MIN_SPEEDUP_AT_SCALE}x at "
+            f">={SCALE_THRESHOLD_NODES} nodes",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

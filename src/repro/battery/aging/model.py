@@ -90,7 +90,11 @@ class AgingModel:
         )
         self.eol_fade = eol_fade
         self.feedback_gain = feedback_gain
-        self.state = AgingState()
+        # Pre-seed every mechanism's damage entry so dict iteration (and
+        # therefore the float summation order of total_fade/resistance
+        # growth) is the fixed mechanism order rather than first-fire
+        # order, which varied with each battery's history.
+        self.state = AgingState(damage={m.name: 0.0 for m in self.mechanisms})
         self._resistance_shares = {m.name: m.resistance_share for m in self.mechanisms}
         #: Stratification accumulated since the last full charge — the
         #: portion a completing charge can still stir away.

@@ -193,6 +193,15 @@ def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stepper_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stepper", choices=("reference", "fleet"), default="reference",
+        help="engine stepping path: the per-node reference walk or the "
+        "bit-compatible vectorized fleet fast path (see "
+        "benchmarks/bench_engine.py for the speedup at scale)",
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     _apply_execution_flags(args)
     name = _resolve_experiment(args.experiment)
@@ -239,7 +248,9 @@ def _comparison_table(results, labels) -> str:
 def cmd_compare(args: argparse.Namespace) -> int:
     _apply_execution_flags(args)
     day = DayClass(args.day)
-    scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
+    scenario = Scenario(
+        dt_s=args.dt, initial_fade=args.fade, seed=args.seed, stepper=args.stepper
+    )
     trace = scenario.trace_generator().days([day] * args.days)
     print(
         f"{args.days} x {day.value} day(s), initial fade {args.fade:.0%}, "
@@ -267,7 +278,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown day class in --day-mix: {exc}")
     days = (day_mix * ((args.days + len(day_mix) - 1) // len(day_mix)))[: args.days]
 
-    scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
+    scenario = Scenario(
+        dt_s=args.dt, initial_fade=args.fade, seed=args.seed, stepper=args.stepper
+    )
     trace = scenario.trace_generator().days(days)
     print(
         f"campaign: {len(policies)} scheme(s) x {args.days} day(s) "
@@ -531,7 +544,12 @@ def _trace_diff(path_a: str, path_b: str) -> int:
 def _live_sim_inputs(args: argparse.Namespace):
     """Shared scenario/trace/policy construction for stats-like commands."""
     day = DayClass(args.day)
-    scenario = Scenario(dt_s=args.dt, initial_fade=args.fade, seed=args.seed)
+    scenario = Scenario(
+        dt_s=args.dt,
+        initial_fade=args.fade,
+        seed=args.seed,
+        stepper=getattr(args, "stepper", "reference"),
+    )
     trace = scenario.trace_generator().days([day] * args.days)
     spec = RunSpec(scenario=scenario, trace=trace, policy=args.policy)
     return day, scenario, trace, spec
@@ -699,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--days", type=int, default=1)
     compare.add_argument("--dt", type=float, default=120.0)
     compare.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_stepper_flag(compare)
     _add_execution_flags(compare)
 
     campaign = sub.add_parser(
@@ -721,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="initial battery fade (0.10 = 'old')")
     campaign.add_argument("--dt", type=float, default=120.0)
     campaign.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_stepper_flag(campaign)
     _add_execution_flags(campaign)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
@@ -778,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="initial battery fade (0.10 = 'old')")
     stats.add_argument("--dt", type=float, default=120.0)
     stats.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_stepper_flag(stats)
     _add_trace_flags(stats)
     _add_profile_flag(stats)
 
@@ -799,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="initial battery fade (0.10 = 'old')")
     health.add_argument("--dt", type=float, default=120.0)
     health.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_stepper_flag(health)
     _add_trace_flags(health)
     _add_profile_flag(health)
 
@@ -819,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="initial battery fade (0.10 = 'old')")
     export.add_argument("--dt", type=float, default=120.0)
     export.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_stepper_flag(export)
     _add_trace_flags(export)
     _add_profile_flag(export)
 

@@ -86,7 +86,17 @@ class PowerPath:
         # to a safe level, unless the primary source alone can carry the
         # server. This is why unplanned cut-offs are so expensive for the
         # aging-blind scheme (section VI-F's e-Buff downtime).
-        per_node_solar_guess = solar_w / max(1, len(nodes))
+        # Share the solar estimate across the nodes that would actually be
+        # drawing if this one restarted: the currently-drawing set plus the
+        # candidate itself. Splitting across every node (including admin-off
+        # and down ones) made restarts during mostly-off periods wrongly
+        # pessimistic.
+        drawing = sum(
+            1
+            for n in nodes
+            if not n.server.admin_off and n.server.state.value != "down"
+        )
+        per_node_solar_guess = solar_w / float(drawing + 1)
         for node in nodes:
             if node.server.state.value == "down" and not node.server.admin_off:
                 idle = node.server.params.idle_w

@@ -110,11 +110,15 @@ class VM:
         self._stall_remaining_s = max(self._stall_remaining_s, RESUME_SECONDS)
 
     def advance(self, dt: float, speed_factor: float, t: float,
-                rng: Optional[np.random.Generator] = None) -> float:
+                rng: Optional[np.random.Generator] = None,
+                util: Optional[float] = None) -> float:
         """Advance the VM by ``dt`` seconds at the host's speed factor.
 
         Returns the progress accrued (utilisation x speed x active time).
-        Stall time is consumed first and accrues nothing.
+        Stall time is consumed first and accrues nothing. When the caller
+        already sampled this step's utilisation (the engine's contention
+        pass), it passes the value via ``util`` so the VM does not burn a
+        second RNG draw for the same step.
         """
         if dt <= 0:
             return 0.0
@@ -125,7 +129,8 @@ class VM:
             active_dt = dt - consumed
         if active_dt <= 0.0:
             return 0.0
-        util = self.utilization(t, rng)
+        if util is None:
+            util = self.utilization(t, rng)
         gained = util * speed_factor * active_dt
         self.progress += gained
         return gained

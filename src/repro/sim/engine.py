@@ -71,10 +71,20 @@ class Simulation:
             self.power_path = RackPowerPath(
                 self.cluster, utility_budget_w=scenario.utility_budget_w
             )
+        elif scenario.stepper == "fleet":
+            from repro.sim.fleet import FleetPowerPath
+
+            self.power_path = FleetPowerPath(
+                self.cluster, utility_budget_w=scenario.utility_budget_w
+            )
         else:
             self.power_path = PowerPath(
                 self.cluster, utility_budget_w=scenario.utility_budget_w
             )
+        # Fleet mode keeps battery/tracker state in struct-of-arrays form
+        # between steps; the engine materializes it back onto the objects
+        # only at the boundaries that read them (policy hooks, collect).
+        self._fleet = getattr(self.power_path, "fleet", None)
         self.recorder = TraceRecorder(
             [n.name for n in self.cluster], record_series=record_series
         )
@@ -199,8 +209,11 @@ class Simulation:
         ambient = scenario.ambient_mean_c + 0.5 * scenario.ambient_swing_c * (
             math.cos(2.0 * math.pi * (tod_h - 14.0) / 24.0)
         )
-        for node in self.cluster:
-            node.battery.thermal.ambient_c = ambient
+        if self._fleet is not None:
+            self._fleet.set_ambient(ambient)
+        else:
+            for node in self.cluster:
+                node.battery.thermal.ambient_c = ambient
 
         if step % steps_per_day == 0:
             day_index = step // steps_per_day
@@ -208,6 +221,8 @@ class Simulation:
                 BUS.emit(DayStartEvent(t=t, day_index=day_index))
             if timing and step > 0:
                 REGISTRY.sample(t)
+            if self._fleet is not None:
+                self._fleet.materialize()
             self.policy.on_day_start(t)
 
         for node in self.cluster:
@@ -217,6 +232,13 @@ class Simulation:
         if timing:
             t0 = perf_counter()
         if in_window and step % control_every == 0:
+            if self._fleet is not None:
+                # Sync objects and derive the DR draw signal lazily: the
+                # fleet state is unchanged between the end of the previous
+                # step and this control pass, so the draws computed here
+                # are bit-identical to the reference path's per-step ones.
+                self._fleet.materialize()
+                self._last_draws = self._fleet.last_draw_powers()
             self.policy.control(t, dt, self._last_draws, solar_w=solar_w)
         if timing:
             t1 = perf_counter()
@@ -228,10 +250,13 @@ class Simulation:
 
         # Per-node battery draws for the next control pass (the DR
         # signal): approximate by each node's battery discharge share.
-        for node in self.cluster:
-            current = max(0.0, node.battery.last_current_a)
-            voltage = node.battery.terminal_voltage(current)
-            self._last_draws[node.name] = current * max(voltage, 0.0)
+        # Fleet mode computes this lazily at the next control pass
+        # instead of scanning every node every step.
+        if self._fleet is None:
+            for node in self.cluster:
+                current = max(0.0, node.battery.last_current_a)
+                voltage = node.battery.terminal_voltage(current)
+                self._last_draws[node.name] = current * max(voltage, 0.0)
         if timing:
             t1 = perf_counter()
             self._phase_timers.power.observe(t1 - t0)
@@ -249,28 +274,40 @@ class Simulation:
             for node in self.cluster:
                 speed = node.server.speed_factor()
                 if speed <= 0.0:
+                    # A down/parked host makes no progress; passing an
+                    # explicit zero utilisation keeps the VMs from burning
+                    # RNG draws that the demand pass never made.
                     for vm in list(node.server.vms):
-                        vm.advance(dt, 0.0, t, self._rng)
+                        vm.advance(dt, 0.0, t, self._rng, util=0.0)
                     continue
-                demand = sum(
-                    vm.utilization(t, self._rng) for vm in node.server.vms
-                )
+                # Sample each VM's utilisation exactly once per step and
+                # reuse it for both the contention factor and the advance,
+                # so the progress accrued agrees with the demand that set
+                # the contention (and RNG state moves once per VM).
+                utils = [vm.utilization(t, self._rng) for vm in node.server.vms]
+                demand = sum(utils)
                 contention = min(1.0, 1.0 / demand) if demand > 1.0 else 1.0
-                for vm in list(node.server.vms):
-                    vm.advance(dt, speed * contention, t, self._rng)
+                factor = speed * contention
+                for vm, util in zip(list(node.server.vms), utils):
+                    vm.advance(dt, factor, t, self._rng, util=util)
         if timing:
             t1 = perf_counter()
             self._phase_timers.advance.observe(t1 - t0)
             t0 = t1
 
         # --- record phase --------------------------------------------
-        self.recorder.record(
-            t,
-            dt,
-            flows,
-            {n.name: n.battery.soc for n in self.cluster},
-            {n.name: n.battery.last_current_a for n in self.cluster},
-        )
+        if self._fleet is not None:
+            self.recorder.record_arrays(
+                t, dt, flows, self._fleet.soc, self._fleet.last_current
+            )
+        else:
+            self.recorder.record(
+                t,
+                dt,
+                flows,
+                {n.name: n.battery.soc for n in self.cluster},
+                {n.name: n.battery.last_current_a for n in self.cluster},
+            )
         if timing:
             self._phase_timers.record.observe(perf_counter() - t0)
         self._step += 1
@@ -284,8 +321,9 @@ class Simulation:
         chains bottom out at.
         """
         below = self._soc_below
-        for node in self.cluster:
-            soc = node.battery.soc
+        fleet_socs = None if self._fleet is None else self._fleet.soc
+        for i, node in enumerate(self.cluster):
+            soc = node.battery.soc if fleet_socs is None else float(fleet_socs[i])
             now_below = soc < LOW_SOC_THRESHOLD
             if now_below != below[node.name]:
                 below[node.name] = now_below
@@ -316,6 +354,8 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def _collect(self) -> SimResult:
+        if self._fleet is not None:
+            self._fleet.materialize()
         nodes = []
         for node in self.cluster:
             metrics = node.tracker.since(RUN_MARK)

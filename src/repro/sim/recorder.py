@@ -62,8 +62,12 @@ class TraceRecorder:
         #: Fig. 12(e)-(k)) can be recomputed offline.
         self.current_series: Dict[str, List[float]] = {n: [] for n in self.node_names}
         # Distributions are always recorded (cheap and needed by figures).
+        # One (nodes, bins) matrix backs the per-node dict as row views so
+        # the array-native path can fold all nodes in a single indexed add.
+        self._soc_time = np.zeros((len(self.node_names), len(SOC_BIN_LABELS)))
+        self._node_index = np.arange(len(self.node_names))
         self.soc_time_s: Dict[str, np.ndarray] = {
-            n: np.zeros(len(SOC_BIN_LABELS)) for n in self.node_names
+            n: self._soc_time[i] for i, n in enumerate(self.node_names)
         }
         self.low_soc_time_s: Dict[str, float] = {n: 0.0 for n in self.node_names}
         self.total_time_s: float = 0.0
@@ -112,6 +116,48 @@ class TraceRecorder:
                 current = (node_currents or {}).get(name, 0.0)
                 self.current_series[name].append(current)
 
+    def record_arrays(
+        self,
+        t: float,
+        dt: float,
+        flows: PowerFlows,
+        socs: np.ndarray,
+        currents: np.ndarray,
+    ) -> None:
+        """Array-native :meth:`record`: fold one step from per-node arrays.
+
+        ``socs`` and ``currents`` are ordered like ``self.node_names`` (the
+        fleet stepper's struct-of-arrays layout). Produces bit-identical
+        accumulators and series to :meth:`record` fed with the equivalent
+        dicts; the input arrays are not mutated.
+        """
+        self.total_time_s += dt
+        clipped = np.clip(socs, 0.0, 1.0)
+        bins = np.searchsorted(_BIN_EDGES, clipped, side="right") - 1
+        np.clip(bins, 0, _LAST_BIN, out=bins)
+        # Each node lands in exactly one bin, so a direct fancy-indexed
+        # add is safe (no duplicate targets) and bit-equal to the scalar
+        # per-node adds.
+        self._soc_time[self._node_index, bins] += dt
+        for i in np.nonzero(clipped < LOW_SOC_THRESHOLD)[0].tolist():
+            self.low_soc_time_s[self.node_names[i]] += dt
+        if REGISTRY.enabled:
+            REGISTRY.counter("recorder/steps").inc()
+            if len(clipped):
+                REGISTRY.gauge("recorder/min_soc").set(float(clipped.min()))
+                REGISTRY.gauge("recorder/mean_soc").set(float(clipped.mean()))
+        if self.record_series:
+            self.times_s.append(t)
+            self.solar_w.append(flows.solar_available_w)
+            self.demand_w.append(flows.demand_w)
+            self.battery_w.append(flows.battery_to_load_w)
+            self.feedback_w.append(flows.grid_feedback_w)
+            for name, soc, current in zip(
+                self.node_names, clipped.tolist(), np.asarray(currents).tolist()
+            ):
+                self.soc_series[name].append(soc)
+                self.current_series[name].append(current)
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -146,4 +192,6 @@ class TraceRecorder:
         }
         for name, series in self.soc_series.items():
             out[f"soc/{name}"] = np.asarray(series)
+        for name, series in self.current_series.items():
+            out[f"current/{name}"] = np.asarray(series)
         return out

@@ -78,6 +78,13 @@ class Scenario:
     #: server its own battery (Google style); "rack-pool" shares all
     #: batteries behind one rack bus (Facebook Open-Rack style).
     architecture: str = "per-server"
+    #: Engine stepping implementation: "reference" walks nodes one by one
+    #: (the original, easiest-to-audit path); "fleet" routes power and
+    #: advances batteries through the vectorized struct-of-arrays fast
+    #: path in :mod:`repro.sim.fleet`, which is bit-compatible with the
+    #: reference (see tests/test_fleet_equivalence.py) but much faster at
+    #: rack scale. Only per-server architectures support "fleet".
+    stepper: str = "reference"
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -87,6 +94,14 @@ class Scenario:
             raise ConfigurationError(
                 f"unknown architecture {self.architecture!r}; "
                 "choose 'per-server' or 'rack-pool'"
+            )
+        if self.stepper not in ("reference", "fleet"):
+            raise ConfigurationError(
+                f"unknown stepper {self.stepper!r}; choose 'reference' or 'fleet'"
+            )
+        if self.stepper == "fleet" and self.architecture != "per-server":
+            raise ConfigurationError(
+                "the fleet stepper supports only the per-server architecture"
             )
         if self.sunny_day_kwh <= 0:
             raise ConfigurationError("sunny_day_kwh must be positive")

@@ -1,0 +1,131 @@
+"""Golden equivalence: the fleet stepper is bit-identical to the reference.
+
+The vectorized struct-of-arrays fast path (``stepper="fleet"``) promises
+*exact* reproduction of the per-node reference stepper — not "close",
+the same floats. These tests run both steppers over multi-day traces and
+require the full :class:`SimResult`, every recorder series, the SoC
+residence/low-SoC accumulators, and the engine RNG's end-of-run state to
+match exactly. Any reordering of float operations or RNG draws in the
+fast path shows up here as a hard failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.policies.factory import make_policy
+from repro.datacenter.workloads import PAPER_WORKLOADS
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+from repro.solar.weather import DayClass
+
+THREE_DAYS = [DayClass.SUNNY, DayClass.CLOUDY, DayClass.RAINY]
+
+
+def _workloads(*names):
+    return tuple(PAPER_WORKLOADS[n] for n in names)
+
+
+def _run(scenario: Scenario, policy_name: str, days):
+    trace = scenario.trace_generator().days(days)
+    sim = Simulation(scenario, make_policy(policy_name), trace, record_series=True)
+    result = sim.run()
+    return sim, result
+
+
+def _assert_equivalent(ref_scenario: Scenario, policy_name: str, days):
+    fleet_scenario = dataclasses.replace(ref_scenario, stepper="fleet")
+    ref_sim, ref = _run(ref_scenario, policy_name, days)
+    fleet_sim, fleet = _run(fleet_scenario, policy_name, days)
+
+    # Whole-run outcome: frozen dataclass equality covers throughput,
+    # downtime, migrations, unserved/feedback energy, and every per-node
+    # NodeResult (fade, Ah, metrics, SoC distribution, final SoC).
+    assert fleet == ref
+
+    # Recorder series must be the same floats, sample by sample.
+    ref_arrays = ref_sim.recorder.as_arrays()
+    fleet_arrays = fleet_sim.recorder.as_arrays()
+    assert set(fleet_arrays) == set(ref_arrays)
+    for key, ref_arr in ref_arrays.items():
+        assert np.array_equal(fleet_arrays[key], ref_arr), key
+
+    # Accumulated distributions (Fig. 18/19 inputs).
+    for name in ref_sim.recorder.node_names:
+        assert np.array_equal(
+            fleet_sim.recorder.soc_time_s[name], ref_sim.recorder.soc_time_s[name]
+        )
+    assert fleet_sim.recorder.low_soc_time_s == ref_sim.recorder.low_soc_time_s
+
+    # Same number and order of RNG draws: the generators end in the same
+    # state, so the equivalence holds for any continuation of the run.
+    assert (
+        fleet_sim._rng.bit_generator.state == ref_sim._rng.bit_generator.state
+    )
+
+
+class TestGoldenEquivalence:
+    """ISSUE acceptance: e-Buff and BAAT over a >= 3-day trace."""
+
+    @pytest.mark.parametrize("policy_name", ["e-buff", "baat"])
+    def test_three_day_mixed_trace(self, policy_name):
+        scenario = Scenario(n_nodes=6, dt_s=300.0)
+        _assert_equivalent(scenario, policy_name, THREE_DAYS)
+
+
+class TestStressEquivalence:
+    """Harder corners: aged fleets, rainy stretches, utility backing."""
+
+    def test_old_batteries_rainy_days(self):
+        scenario = Scenario(
+            n_nodes=4,
+            dt_s=300.0,
+            initial_fade=0.12,
+            workloads=_workloads("web_serving", "data_analytics", "word_count"),
+        )
+        _assert_equivalent(
+            scenario, "baat", [DayClass.RAINY, DayClass.RAINY, DayClass.CLOUDY]
+        )
+
+    def test_utility_budget_low_soc(self):
+        scenario = Scenario(
+            n_nodes=4,
+            dt_s=300.0,
+            utility_budget_w=150.0,
+            initial_soc=0.5,
+            workloads=_workloads("web_serving", "kmeans_clustering"),
+        )
+        _assert_equivalent(
+            scenario, "e-buff", [DayClass.CLOUDY, DayClass.RAINY, DayClass.SUNNY]
+        )
+
+    @pytest.mark.parametrize("policy_name", ["baat-s", "baat-h"])
+    def test_single_knob_policies(self, policy_name):
+        scenario = Scenario(
+            n_nodes=3,
+            dt_s=300.0,
+            workloads=_workloads("web_serving", "data_analytics", "word_count"),
+        )
+        _assert_equivalent(scenario, policy_name, [DayClass.CLOUDY] * 3)
+
+
+class TestStepperSelection:
+    def test_unknown_stepper_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(stepper="warp")
+
+    def test_fleet_requires_per_server(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(stepper="fleet", architecture="rack-pool")
+
+    def test_fleet_stepper_builds_fleet_power_path(self):
+        from repro.sim.fleet import FleetPowerPath
+
+        scenario = Scenario(n_nodes=3, dt_s=300.0, stepper="fleet")
+        trace = scenario.trace_generator().day(DayClass.SUNNY)
+        sim = Simulation(scenario, make_policy("e-buff"), trace)
+        assert isinstance(sim.power_path, FleetPowerPath)

@@ -246,8 +246,13 @@ class TestProjections:
 # ----------------------------------------------------------------------
 class TestEngineeredBreaches:
     def breach_scenario(self):
-        """Old, half-empty batteries into a rainy day: heavy deep
-        discharge the slowdown monitor cannot fully prevent."""
+        """Old, nearly-empty batteries into a rainy day, with servers
+        oversized relative to the batteries (12 W/Ah): heavy deep
+        discharge the slowdown monitor cannot fully prevent. The fat
+        server-to-battery ratio matters — at the default ratio BAAT's
+        slowdown holds a rainy-day fleet within a fraction of a percent
+        of wherever it starts, never *falling* through the 0.28
+        protected floor."""
         return Scenario(
             n_nodes=3,
             dt_s=300.0,
@@ -257,7 +262,7 @@ class TestEngineeredBreaches:
             ),
             initial_fade=0.3,
             initial_soc=0.30,
-        )
+        ).with_server_to_battery_ratio(12.0)
 
     def test_ddt_and_soc_floor_rules_fire_live(self, tmp_path):
         scenario = self.breach_scenario()
