@@ -20,6 +20,8 @@ a common conservative convention in system simulators.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.battery.params import BatteryParams
 from repro.errors import ConfigurationError
 
@@ -36,6 +38,28 @@ def peukert_factor(current: float, params: BatteryParams) -> float:
     if current <= i_ref or i_ref <= 0:
         return 1.0
     return (current / i_ref) ** (params.peukert_exponent - 1.0)
+
+
+def peukert_factor_array(current, i_ref, k_minus_1):
+    """Vector :func:`peukert_factor` over numpy arrays.
+
+    ``**`` goes through per-element Python-float pow (not numpy's array
+    kernel) so each element is bit-identical to the scalar function —
+    the contract the fleet fast path's equivalence tests rely on.
+    Currents at or below the (positive) reference rate map to 1.0.
+    """
+    out = np.ones(len(current))
+    hot = np.nonzero((current > i_ref) & (i_ref > 0.0))[0]
+    if len(hot):
+        out[hot] = [
+            (c / ir) ** km1
+            for c, ir, km1 in zip(
+                current[hot].tolist(),
+                i_ref[hot].tolist(),
+                k_minus_1[hot].tolist(),
+            )
+        ]
+    return out
 
 
 def peukert_capacity(current: float, params: BatteryParams) -> float:

@@ -20,16 +20,21 @@ battery aging":
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
 
 from repro.core.policies.base import Policy
 from repro.core.slowdown import SlowdownConfig, SlowdownMonitor
 from repro.datacenter.vm import VM
 from repro.errors import MigrationError
-from repro.obs import BUS, REGISTRY
+from repro.obs import ALERTS, BUS, REGISTRY
 from repro.obs.events import ConsolidationEvent, ParkEvent, WakeEvent
 from repro.obs.spans import SPANS, caused_by
 from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fleet import FleetState
 
 #: Minimum seconds between consolidation passes (stop-and-copy churn guard).
 CONSOLIDATION_COOLDOWN_S = 1800.0
@@ -73,6 +78,7 @@ class BAATPolicy(Policy):
             self.controller,
             scheduler=self.scheduler,
             config=self.slowdown_config,
+            window_end_h=self._scenario_window_end_h(),
         )
 
     def place_vm(self, vm: VM) -> str:
@@ -102,13 +108,21 @@ class BAATPolicy(Policy):
 
     def _battery_budget_w(self, t: float) -> float:
         """Aggregate sustainable battery power: per node, the charge above
-        the protected SoC floor rationed over the remaining window."""
-        cfg = self.slowdown_config
+        the protected SoC floor rationed over the remaining window.
+
+        Parked (``policy_off``) nodes are excluded: their discharge cap
+        is 0 W, so their hoarded charge cannot be spent on load and must
+        not inflate the supportable-server estimate.
+        """
         assert self.monitor is not None
         tod_h = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
-        remaining_s = max(600.0, (cfg.window_end_h - tod_h) * SECONDS_PER_HOUR)
+        remaining_s = max(
+            600.0, (self.monitor.window_end_h - tod_h) * SECONDS_PER_HOUR
+        )
         total = 0.0
         for node in self._require_bound():
+            if node.server.policy_off:
+                continue
             battery = node.battery
             floor = self.monitor.protected_floor(node)
             usable_ah = max(
@@ -116,6 +130,67 @@ class BAATPolicy(Policy):
             )
             total += usable_ah * battery.terminal_voltage(0.0) * SECONDS_PER_HOUR / remaining_s
         return total
+
+    # ------------------------------------------------------------------
+    # Fleet fast path (array decision kernels)
+    # ------------------------------------------------------------------
+    def control_fleet(
+        self,
+        t: float,
+        dt: float,
+        fleet: "FleetState",
+        solar_w: float = 0.0,
+    ) -> bool:
+        """Batch the consolidation *decision* (not the action ladder) and
+        the Fig.-9 monitor checks as array passes. When either decides an
+        action is needed, return False so the engine materializes and the
+        object path acts — the rare case by construction."""
+        if BUS.enabled or ALERTS.enabled:
+            return False
+        if not self._consolidation_idle(t, solar_w, fleet):
+            return False
+        assert self.monitor is not None
+        return self.monitor.fleet_control(t, fleet)
+
+    def _consolidation_idle(self, t: float, solar_w: float, fleet: "FleetState") -> bool:
+        """Array twin of :meth:`_consolidate`'s early returns: True iff
+        the object-path pass would take no action this tick."""
+        assert self.monitor is not None
+        per_server = self._per_server_planning_w()
+        n_off = int(fleet.policy_off_mask.sum())
+        n_active = fleet.n - n_off
+        # Wake branch: solar headroom over the active count with parked
+        # nodes available always acts.
+        solar_supportable = int(solar_w // per_server)
+        if solar_supportable > n_active and n_off > 0:
+            return False
+        supportable = int(
+            (solar_w + self._battery_budget_w_fleet(t, fleet)) // per_server
+        )
+        if supportable >= n_active:
+            return True
+        thr, _floor = self.monitor._fleet_thresholds(fleet)
+        stressed = bool(((fleet.soc < thr) & ~fleet.policy_off_mask).any())
+        if not stressed:
+            return True
+        if t - self._last_consolidation_s < CONSOLIDATION_COOLDOWN_S:
+            return True
+        return False
+
+    def _battery_budget_w_fleet(self, t: float, fleet: "FleetState") -> float:
+        """Array twin of :meth:`_battery_budget_w`: identical elementwise
+        terms, summed in node order from int 0 like the object fold."""
+        assert self.monitor is not None
+        tod_h = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        remaining_s = max(
+            600.0, (self.monitor.window_end_h - tod_h) * SECONDS_PER_HOUR
+        )
+        der = fleet.derived_now()
+        v = fleet.ocv(fleet.soc, der)
+        _thr, floor = self.monitor._fleet_thresholds(fleet)
+        usable = np.maximum(0.0, (fleet.soc - floor) * der["eff_cap"])
+        terms = usable * v * SECONDS_PER_HOUR / remaining_s
+        return float(sum(terms[~fleet.policy_off_mask].tolist()))
 
     def _consolidate(self, t: float, solar_w: float) -> None:
         cluster = self._require_bound()
@@ -127,9 +202,14 @@ class BAATPolicy(Policy):
 
         # Wake on *solar* headroom only: parked batteries are deliberately
         # being preserved, so recharged charge alone must not trigger a
-        # wake (that oscillates park/wake and burns the hoard).
+        # wake (that oscillates park/wake and burns the hoard). Each wake
+        # grows the active count toward the solar headroom; counting the
+        # woken node on the active side (rather than decrementing the
+        # headroom against a stale active snapshot) keeps the accounting
+        # honest if either side ever changes mid-loop.
         solar_supportable = int(solar_w // per_server)
-        if solar_supportable > len(active) and sleeping:
+        n_active = len(active)
+        if solar_supportable > n_active and sleeping:
             ranked = self.controller.rank_nodes(up_only=False)
             for node, _score in ranked:
                 if not node.server.policy_off:
@@ -147,8 +227,8 @@ class BAATPolicy(Policy):
                     )
                     SPANS.end("parked", node=node.name, t=t)
                 self._rebalance_onto(node.name)
-                solar_supportable -= 1
-                if solar_supportable <= len(active):
+                n_active += 1
+                if n_active >= solar_supportable:
                     break
             return
 

@@ -16,7 +16,7 @@ the stop-and-copy overhead that costs BAAT-h throughput in Fig. 20.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.datacenter.vm import VM
 from repro.errors import MigrationError
 from repro.obs.spans import SPANS
 from repro.rng import spawn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fleet import FleetState
 
 #: A node is "fast aging" when its window NAT exceeds the cluster mean by
 #: this multiplicative tolerance. Tight, so BAAT-h reacts eagerly — the
@@ -90,6 +93,32 @@ class BAATHidingPolicy(Policy):
             if t - last < MIGRATION_COOLDOWN_S:
                 continue
             self._migrate_random_vm(node.name, t)
+
+    def control_fleet(
+        self,
+        t: float,
+        dt: float,
+        fleet: "FleetState",
+        solar_w: float = 0.0,
+    ) -> bool:
+        """NAT-imbalance scan as one array pass; the rare candidate nodes
+        fall back to the same object-path migration helper, so events and
+        RNG draws are bit-identical to :meth:`control`."""
+        assert self.controller is not None and self._rng is not None
+        nat = self.controller.window_nat_array(fleet)
+        mean_nat = sum(nat.tolist()) / fleet.n
+        if mean_nat <= 0.0:
+            return True
+        cand = nat > (NAT_IMBALANCE_TOLERANCE * mean_nat)
+        for i in np.nonzero(cand)[0].tolist():
+            node = fleet.nodes[i]
+            if not node.is_up or not node.server.vms:
+                continue
+            last = self._last_migration_s.get(node.name, -float("inf"))
+            if t - last < MIGRATION_COOLDOWN_S:
+                continue
+            self._migrate_random_vm(node.name, t)
+        return True
 
     def _migrate_random_vm(self, source: str, t: float) -> None:
         """Move one random VM from ``source`` to a random feasible node —

@@ -10,11 +10,14 @@ benefit shows up in Figs. 13/14.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.policies.base import Policy
 from repro.core.slowdown import SlowdownConfig, SlowdownMonitor
 from repro.datacenter.vm import VM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fleet import FleetState
 
 
 class BAATSlowdownPolicy(Policy):
@@ -41,7 +44,11 @@ class BAATSlowdownPolicy(Policy):
     def _after_bind(self) -> None:
         assert self.cluster is not None and self.controller is not None
         self.monitor = SlowdownMonitor(
-            self.cluster, self.controller, scheduler=None, config=self.slowdown_config
+            self.cluster,
+            self.controller,
+            scheduler=None,
+            config=self.slowdown_config,
+            window_end_h=self._scenario_window_end_h(),
         )
 
     def place_vm(self, vm: VM) -> str:
@@ -58,6 +65,18 @@ class BAATSlowdownPolicy(Policy):
     ) -> None:
         assert self.monitor is not None
         self.monitor.control(t, node_draws)
+
+    def control_fleet(
+        self,
+        t: float,
+        dt: float,
+        fleet: "FleetState",
+        solar_w: float = 0.0,
+    ) -> bool:
+        """BAAT-s control is the Fig.-9 monitor alone, so the array pass
+        is exactly the monitor's batched threshold checks."""
+        assert self.monitor is not None
+        return self.monitor.fleet_control(t, fleet)
 
     def describe(self) -> str:
         return "Only use aging-aware CPU frequency throttling to slow down battery aging"

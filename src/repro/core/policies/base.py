@@ -16,13 +16,17 @@ controller's SNMP/driver actuation paths.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.controller import BAATController
 from repro.core.scheduler import AgingHidingScheduler
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.vm import VM
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fleet import FleetState
+    from repro.sim.scenario import Scenario
 
 
 class Policy(abc.ABC):
@@ -35,14 +39,26 @@ class Policy(abc.ABC):
         self.cluster: Optional[Cluster] = None
         self.controller: Optional[BAATController] = None
         self.scheduler: Optional[AgingHidingScheduler] = None
+        self.scenario: Optional["Scenario"] = None
 
-    def bind(self, cluster: Cluster) -> None:
+    def bind(self, cluster: Cluster, scenario: Optional["Scenario"] = None) -> None:
         """Attach the policy to a cluster, building its controller and
-        scheduler. Called once by the simulation engine."""
+        scheduler. Called once by the simulation engine, which also hands
+        over the scenario so policies can derive deployment facts from it
+        (e.g. the operating-window end the rationing horizon runs to).
+        Binding without a scenario keeps the documented defaults."""
         self.cluster = cluster
+        self.scenario = scenario
         self.controller = BAATController(cluster)
         self.scheduler = AgingHidingScheduler(cluster, self.controller)
         self._after_bind()
+
+    def _scenario_window_end_h(self) -> Optional[float]:
+        """The bound scenario's operating-window end (local hours), or
+        None when bound without a scenario."""
+        if self.scenario is None:
+            return None
+        return self.scenario.operating_window_h[1]
 
     def _after_bind(self) -> None:
         """Subclass hook run after binding (build monitors etc.)."""
@@ -71,6 +87,28 @@ class Policy(abc.ABC):
         ``solar_w`` is the present farm output; the real controller reads
         it through the power-switch module, so policies may use it.
         """
+
+    def control_fleet(
+        self,
+        t: float,
+        dt: float,
+        fleet: "FleetState",
+        solar_w: float = 0.0,
+    ) -> bool:
+        """Array-native control pass over the fleet stepper's state.
+
+        Called by the engine *instead of* :meth:`control` on fleet runs.
+        Returning True means this pass is fully handled (decisions were
+        evaluated against the authoritative arrays and any effects were
+        applied in place); returning False makes the engine materialize
+        the arrays and run the object-path :meth:`control` — the default,
+        so policies without an array pass keep reference behaviour.
+
+        Implementations must be bit-compatible with :meth:`control`
+        (same decisions, actions, RNG draws, and event stream) — the
+        contract ``tests/test_fleet_equivalence.py`` enforces.
+        """
+        return False
 
     def on_day_start(self, t: float) -> None:
         """Day-boundary hook: reset assessment windows by default."""

@@ -11,10 +11,13 @@ aging of the four schemes.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from repro.core.policies.base import Policy
 from repro.datacenter.vm import VM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fleet import FleetState
 
 
 class EBuffPolicy(Policy):
@@ -35,6 +38,18 @@ class EBuffPolicy(Policy):
         solar_w: float = 0.0,
     ) -> None:
         """No control actions: batteries are used until they cut off."""
+
+    def control_fleet(
+        self,
+        t: float,
+        dt: float,
+        fleet: "FleetState",
+        solar_w: float = 0.0,
+    ) -> bool:
+        """e-Buff's buffering rule is "do nothing": the decision is a
+        constant, so the array pass is trivially complete and the engine
+        never needs to materialize fleet state for control."""
+        return True
 
     def describe(self) -> str:
         return (

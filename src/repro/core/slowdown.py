@@ -22,7 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.battery.peukert import peukert_factor
+import numpy as np
+
+from repro.battery.peukert import peukert_factor, peukert_factor_array
 from repro.battery.unit import BatteryUnit
 from repro.core.controller import BAATController
 from repro.core.scheduler import AgingHidingScheduler
@@ -39,6 +41,11 @@ from repro.obs.events import (
 )
 from repro.obs.spans import SPANS, caused_by, in_span
 from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+#: Operating-window end used when no scenario is bound (the paper's
+#: prototype runs 8:30-18:30). A bound policy derives the real horizon
+#: from ``Scenario.operating_window_h`` instead.
+DEFAULT_WINDOW_END_H = 18.5
 
 
 def reserve_seconds(battery: BatteryUnit, power_w: float) -> float:
@@ -120,7 +127,10 @@ class SlowdownConfig:
     #: sulphation-prone deep-discharge region.
     protected_soc: float = 0.28
     #: End of the operating window (local hours), for rationing horizons.
-    window_end_h: float = 18.5
+    #: ``None`` (the default) derives it from the bound scenario's
+    #: ``operating_window_h`` — falling back to 18.5 for monitors built
+    #: without a scenario. An explicit value always wins.
+    window_end_h: Optional[float] = None
     #: A migration is worthwhile only onto a materially healthier node:
     #: the target battery must have at least this much more SoC than the
     #: source. Guards full BAAT against BAAT-h-style churn when every node
@@ -147,6 +157,8 @@ class SlowdownConfig:
             raise ConfigurationError("recovery_soc must exceed low_soc_threshold")
         if not 0.0 <= self.protected_soc < self.low_soc_threshold:
             raise ConfigurationError("protected_soc must be below low_soc_threshold")
+        if self.window_end_h is not None and not 0.0 < self.window_end_h <= 24.0:
+            raise ConfigurationError("window_end_h must be in (0, 24]")
 
 
 class SlowdownMonitor:
@@ -158,11 +170,21 @@ class SlowdownMonitor:
         controller: BAATController,
         scheduler: Optional[AgingHidingScheduler] = None,
         config: Optional[SlowdownConfig] = None,
+        window_end_h: Optional[float] = None,
     ):
         self.cluster = cluster
         self.controller = controller
         self.scheduler = scheduler
         self.config = config or SlowdownConfig()
+        #: Rationing horizon (local hours): an explicit config value wins,
+        #: then the scenario-derived window end passed by the binding
+        #: policy, then the prototype's 18:30.
+        if self.config.window_end_h is not None:
+            self.window_end_h = self.config.window_end_h
+        elif window_end_h is not None:
+            self.window_end_h = window_end_h
+        else:
+            self.window_end_h = DEFAULT_WINDOW_END_H
         self.migrations = 0
         self.throttles = 0
         self.parks = 0
@@ -181,6 +203,10 @@ class SlowdownMonitor:
         #: resulting action events.
         self.last_trigger: dict = {}
         self._last_t = 0.0
+        # Cached (fleet, threshold, floor) arrays for the vectorized pass;
+        # only valid while no per-node overrides exist (planned aging
+        # rebuilds them every pass instead).
+        self._thr_cache: Optional[tuple] = None
 
     def low_soc_threshold(self, node: Node) -> float:
         """Effective low-SoC trigger for a node."""
@@ -421,7 +447,7 @@ class SlowdownMonitor:
         rationed over the remainder of the operating window."""
         battery = node.battery
         tod_h = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
-        remaining_s = max(300.0, (self.config.window_end_h - tod_h) * SECONDS_PER_HOUR)
+        remaining_s = max(300.0, (self.window_end_h - tod_h) * SECONDS_PER_HOUR)
         usable_ah = max(
             0.0,
             (battery.soc - self.protected_floor(node)) * battery.effective_capacity_ah,
@@ -500,3 +526,115 @@ class SlowdownMonitor:
             else:
                 self.recover(node)
         return actions
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path (fleet stepper)
+    # ------------------------------------------------------------------
+    def _fleet_thresholds(self, fleet):
+        """Per-node (low-SoC threshold, protected floor) arrays.
+
+        Without overrides both are pure config constants, cached per
+        fleet; planned aging's per-node overrides force a rebuild through
+        the object-path accessors every pass, keeping the arrays
+        bit-identical to :meth:`low_soc_threshold`/:meth:`protected_floor`.
+        """
+        if not self.low_soc_override and not self.floor_override:
+            cached = self._thr_cache
+            if cached is not None and cached[0] is fleet:
+                return cached[1], cached[2]
+            thr = np.full(fleet.n, self.config.low_soc_threshold)
+            offset = self.config.low_soc_threshold - self.config.protected_soc
+            floor = np.maximum(fleet.cutoff_soc + 0.02, thr - offset)
+            self._thr_cache = (fleet, thr, floor)
+            return thr, floor
+        thr = np.array([self.low_soc_threshold(nd) for nd in fleet.nodes])
+        floor = np.array([self.protected_floor(nd) for nd in fleet.nodes])
+        return thr, floor
+
+    def _reserve_seconds_array(self, fleet, idx, draws, voltage, der):
+        """Vector :func:`reserve_seconds` for the node subset ``idx``.
+
+        Same branch structure as the scalar: zero draw -> inf, dead
+        voltage -> 0, Peukert-inflated drain otherwise.
+        """
+        out = np.full(len(idx), float("inf"))
+        out[(draws > 0.0) & (voltage <= 0.0)] = 0.0
+        li = np.nonzero((draws > 0.0) & (voltage > 0.0))[0]
+        if len(li):
+            sub = idx[li]
+            current = draws[li] / voltage[li]
+            avail = np.maximum(
+                0.0, (fleet.soc[sub] - fleet.cutoff_soc[sub]) * der["eff_cap"][sub]
+            )
+            pf = peukert_factor_array(
+                current, fleet.i_ref[sub], fleet.k_minus_1[sub]
+            )
+            drain = current * pf / SECONDS_PER_HOUR
+            pos = drain > 0.0
+            out[li] = np.where(
+                pos,
+                np.divide(avail, drain, out=np.zeros(len(li)), where=pos),
+                float("inf"),
+            )
+        return out
+
+    def _ration_w_array(self, fleet, idx, floor, voltage, der, t):
+        """Vector :meth:`_ration_w` for the node subset ``idx``."""
+        tod_h = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        remaining_s = max(300.0, (self.window_end_h - tod_h) * SECONDS_PER_HOUR)
+        usable = np.maximum(0.0, (fleet.soc[idx] - floor) * der["eff_cap"][idx])
+        return usable * voltage * SECONDS_PER_HOUR / remaining_s
+
+    def fleet_control(self, t: float, fleet) -> bool:
+        """One monitoring pass as array threshold checks over ``fleet``.
+
+        Covers the pure-decision part of :meth:`control`: the Fig.-9
+        trigger predicates (DDT, reserve, ration) for every eligible node
+        plus the recovery release. Returns ``False`` — telling the caller
+        to materialize and run the object path instead — whenever
+        observability is on (events and alerts must come from the
+        reference code) or any node actually triggers its action ladder;
+        the rare per-node actions are deliberately not replicated in
+        array form.
+
+        Bit-compatibility: the trigger predicates depend only on battery/
+        tracker state and constants, never on earlier actions within the
+        same pass, so evaluating them in one batch matches the sequential
+        object loop; a pass with zero triggers performs exactly the
+        recovery writes, applied here to the same nodes in node order.
+        """
+        if BUS.enabled or ALERTS.enabled:
+            return False
+        self._last_t = t
+        cfg = self.config
+        soc = fleet.soc
+        eligible = fleet.server_up & ~fleet.policy_off_mask
+        thr, floor = self._fleet_thresholds(fleet)
+        below = eligible & (soc < thr)
+        if below.any():
+            bi = np.nonzero(below)[0]
+            ddt = self.controller.window_ddt_array(fleet)[bi]
+            triggered = ddt > cfg.ddt_threshold
+            if not triggered.all():
+                der = fleet.derived_now()
+                # The DR draw signal: the same floats the engine's lazy
+                # last_draw_powers() refresh hands the object path.
+                cur = np.maximum(0.0, fleet.last_current[bi])
+                tv = fleet.terminal_voltage(soc[bi], cur, der, bi)
+                draws = cur * np.maximum(tv, 0.0)
+                v0 = fleet.ocv(soc, der)[bi]
+                reserve = self._reserve_seconds_array(fleet, bi, draws, v0, der)
+                triggered |= reserve < cfg.reserve_seconds_threshold
+                ration = self._ration_w_array(fleet, bi, floor[bi], v0, der, t)
+                triggered |= draws > ration
+            if triggered.any():
+                return False
+        # No trigger anywhere: the object loop would only run recover().
+        rec = eligible & (soc >= cfg.recovery_soc) & fleet.policy_restricted
+        if rec.any():
+            for i in np.nonzero(rec)[0].tolist():
+                node = fleet.nodes[i]
+                node.server.throttle_up()
+                node.discharge_cap_w = float("inf")
+                fleet.policy_restricted[i] = node.server.freq_index > 0
+        return True

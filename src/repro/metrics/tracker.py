@@ -26,6 +26,10 @@ class MetricsTracker:
         self.name = name
         self.acc = MetricsAccumulator()
         self._marks: Dict[str, MetricsAccumulator] = {}
+        #: Bumped every time any mark moves. Array-based readers (the
+        #: fleet fast path) key their cached mark snapshots on this so a
+        #: re-mark invalidates them without scanning accumulators.
+        self.mark_version = 0
 
     def observe(self, soc: float, current: float, dt: float) -> None:
         """Fold one sample: SoC in [0, 1], signed current (A, + = out),
@@ -39,10 +43,22 @@ class MetricsTracker:
         """Record the current accumulator under ``label`` for later
         windowed queries."""
         self._marks[label] = self.acc.copy()
+        self.mark_version += 1
 
     def has_mark(self, label: str) -> bool:
         """True if ``label`` was previously marked."""
         return label in self._marks
+
+    def mark_acc(self, label: str) -> MetricsAccumulator:
+        """The frozen accumulator snapshot behind ``label``.
+
+        Exposed (read-only by convention) so array-based metric readers
+        can compute windows as ``live array - mark array`` without going
+        through per-node :class:`AgingMetrics` construction.
+        """
+        if label not in self._marks:
+            raise ConfigurationError(f"no mark named {label!r}")
+        return self._marks[label]
 
     def since(self, label: str) -> AgingMetrics:
         """Metrics over the window from ``mark(label)`` to now."""

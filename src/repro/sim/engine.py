@@ -64,7 +64,7 @@ class Simulation:
         self.policy = policy
         self.trace = trace
         self.cluster = scenario.build_cluster()
-        self.policy.bind(self.cluster)
+        self.policy.bind(self.cluster, scenario=scenario)
         if scenario.architecture == "rack-pool":
             from repro.datacenter.rack import RackPowerPath
 
@@ -85,6 +85,8 @@ class Simulation:
         # between steps; the engine materializes it back onto the objects
         # only at the boundaries that read them (policy hooks, collect).
         self._fleet = getattr(self.power_path, "fleet", None)
+        if self._fleet is not None and self.policy.controller is not None:
+            self.policy.controller.attach_fleet(self._fleet)
         self.recorder = TraceRecorder(
             [n.name for n in self.cluster], record_series=record_series
         )
@@ -98,6 +100,9 @@ class Simulation:
         self._last_draws: Dict[str, float] = {}
         self._soc_below: Dict[str, bool] = {}
         self._phase_timers: StepPhaseTimers | None = None
+        # Last admin window state written to the servers (None = never):
+        # the per-node admin_off fan-out only runs on transitions.
+        self._admin_in_window: bool | None = None
 
     # ------------------------------------------------------------------
     def deploy(self) -> None:
@@ -225,21 +230,36 @@ class Simulation:
                 self._fleet.materialize()
             self.policy.on_day_start(t)
 
-        for node in self.cluster:
-            node.server.admin_off = not in_window
+        if self._admin_in_window is not in_window:
+            for node in self.cluster:
+                node.server.admin_off = not in_window
+            self._admin_in_window = in_window
 
         # --- control phase -------------------------------------------
         if timing:
             t0 = perf_counter()
         if in_window and step % control_every == 0:
-            if self._fleet is not None:
-                # Sync objects and derive the DR draw signal lazily: the
-                # fleet state is unchanged between the end of the previous
-                # step and this control pass, so the draws computed here
-                # are bit-identical to the reference path's per-step ones.
-                self._fleet.materialize()
-                self._last_draws = self._fleet.last_draw_powers()
-            self.policy.control(t, dt, self._last_draws, solar_w=solar_w)
+            # Fleet runs try the policy's array decision pass first; it
+            # returns False whenever the pass decides per-node actions
+            # (or observability) require the object path, which is rare
+            # in steady state.
+            handled = self._fleet is not None and self.policy.control_fleet(
+                t, dt, self._fleet, solar_w=solar_w
+            )
+            if not handled:
+                if self._fleet is not None:
+                    # Sync objects and derive the DR draw signal lazily:
+                    # the fleet state is unchanged between the end of the
+                    # previous step and this control pass, so the draws
+                    # computed here are bit-identical to the reference
+                    # path's per-step ones.
+                    self._fleet.materialize()
+                    self._last_draws = self._fleet.last_draw_powers()
+                self.policy.control(t, dt, self._last_draws, solar_w=solar_w)
+                if self._fleet is not None:
+                    # The object pass may have parked, throttled, capped,
+                    # or woken nodes; re-read the control-plane masks.
+                    self._fleet.refresh_policy_view()
         if timing:
             t1 = perf_counter()
             self._phase_timers.control.observe(t1 - t0)
@@ -272,6 +292,10 @@ class Simulation:
         # powered, which the throughput metric must reflect).
         if in_window:
             for node in self.cluster:
+                if not node.server.vms:
+                    # No hosted VMs: neither branch below would advance
+                    # anything or draw RNG, so skip the speed query.
+                    continue
                 speed = node.server.speed_factor()
                 if speed <= 0.0:
                     # A down/parked host makes no progress; passing an

@@ -53,6 +53,7 @@ from repro.battery.aging.model import (
     AgingModel,
 )
 from repro.battery.charger import Charger
+from repro.battery.peukert import peukert_factor_array
 from repro.battery.unit import BatteryUnit
 from repro.battery.voltage import (
     LOW_SOC_KNEE,
@@ -62,6 +63,7 @@ from repro.battery.voltage import (
 )
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.power_path import RESTART_SOC, PowerFlows, PowerPath
+from repro.datacenter.server import IDLE_DYNAMIC_FRACTION, ServerPowerState
 from repro.errors import ConfigurationError
 from repro.obs import BUS, REGISTRY
 from repro.obs.events import BatterySampleEvent, BrownoutEvent
@@ -110,11 +112,18 @@ class FleetState:
         self.n = len(self.nodes)
         self.validate(cluster)
         self._alloc_constants()
-        self.capture()
         # Cached per-dt exponential factors (thermal decay, self-discharge).
         self._decay_dt: float | None = None
         self._decay: np.ndarray | None = None
         self._sd_factor: np.ndarray | None = None
+        #: Monotone battery-state generation: bumped whenever the arrays
+        #: take new values (capture, end of a power step) so per-step
+        #: derived() results can be memoized safely.
+        self._state_version = 0
+        self._derived_cache: Dict[float, Tuple[int, Dict[str, np.ndarray]]] = {}
+        # Per-label (epoch, arrays) snapshots of tracker marks.
+        self._mark_cache: Dict[str, Tuple[int, Dict[str, np.ndarray]]] = {}
+        self.capture()
 
     # ------------------------------------------------------------------
     # Validation
@@ -213,6 +222,9 @@ class FleetState:
         ).T  # (5, n)
         self.mech_names = [m.name for m in self.nodes[0].battery.aging.mechanisms]
         self.tracker_ref_current = arr(lambda nd: nd.tracker.params.reference_current)
+        self.tracker_lifetime_ah = arr(
+            lambda nd: nd.tracker.params.lifetime_ah_throughput
+        )
         self.node_names = [nd.name for nd in self.nodes]
         assert len(self.node_names) == n
 
@@ -259,6 +271,30 @@ class FleetState:
         self.tr_high_rate_s = arr(lambda nd: acc(nd).high_rate_low_soc_time_s)
         self.feedback_wh = arr(lambda nd: nd.feedback_wh)
         self._dirty = False
+        self._state_version += 1
+        self.refresh_policy_view()
+
+    def refresh_policy_view(self) -> None:
+        """Rebuild the control-plane masks from the server objects.
+
+        ``server_up``, ``policy_off_mask`` and ``policy_restricted`` let
+        policy decision kernels select eligible nodes without touching
+        the object API. The power path keeps ``server_up`` current at the
+        end of every step; the engine re-reads the other two whenever an
+        object-path control pass may have parked/throttled nodes.
+        """
+        self.policy_off_mask = np.array(
+            [nd.server.policy_off for nd in self.nodes]
+        )
+        self.policy_restricted = np.array(
+            [
+                nd.server.freq_index > 0 or nd.discharge_cap_w != float("inf")
+                for nd in self.nodes
+            ]
+        )
+        self.server_up = np.array(
+            [nd.server.state is ServerPowerState.UP for nd in self.nodes]
+        )
 
     def materialize(self) -> None:
         """Write array state back into the per-node objects.
@@ -314,7 +350,14 @@ class FleetState:
         aging/thermal inputs use the pre-step state, so fade, resistance
         growth, OCV endpoints, Arrhenius factors etc. can be computed once
         here and shared by the restart check and all kernels.
+
+        Memoized on (dt, battery-state generation): control-plane passes
+        between power steps reuse the step's arrays instead of re-running
+        the scalar-pow loops.
         """
+        cached = self._derived_cache.get(dt)
+        if cached is not None and cached[0] == self._state_version:
+            return cached[1]
         d = self.damage
         total_raw = d[0] + d[1] + d[2] + d[3] + d[4]
         fade = np.maximum(0.0, np.minimum(0.95, total_raw))
@@ -348,7 +391,7 @@ class FleetState:
                 ]
             )
             self._decay_dt = dt
-        return {
+        out = {
             "total_raw": total_raw,
             "fade": fade,
             "growth": growth,
@@ -361,6 +404,14 @@ class FleetState:
             "decay": self._decay,
             "sd_factor": self._sd_factor,
         }
+        self._derived_cache[dt] = (self._state_version, out)
+        return out
+
+    def derived_now(self) -> Dict[str, np.ndarray]:
+        """Derived quantities at the step dt the run is using (60 s until
+        the first step) — the dt only affects the decay/self-discharge
+        factors, which control-plane readers never consult."""
+        return self.derived(self._decay_dt if self._decay_dt is not None else 60.0)
 
     # ------------------------------------------------------------------
     # Electrical helpers (vector + scalar twins)
@@ -437,11 +488,45 @@ class FleetState:
         of a power step and the next control call, so computing it lazily
         here is bit-equal to refreshing it every step.
         """
-        der = self.derived(self._decay_dt if self._decay_dt is not None else 60.0)
+        der = self.derived_now()
         current = np.maximum(0.0, self.last_current)
         voltage = self.terminal_voltage(self.soc, current, der)
         draws = current * np.maximum(voltage, 0.0)
         return {name: float(w) for name, w in zip(self.node_names, draws)}
+
+    def mark_arrays(self, label: str, epoch: int) -> Dict[str, np.ndarray]:
+        """Array snapshots of every tracker's ``label`` mark accumulator.
+
+        Marks are frozen copies taken while the objects were current, so
+        ``live array - mark array`` equals the object path's
+        ``acc - mark`` elementwise. Cached per label until ``epoch`` (the
+        controller's window counter) moves.
+        """
+        cached = self._mark_cache.get(label)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+
+        def arr(get) -> np.ndarray:
+            return np.array([float(get(node)) for node in self.nodes])
+
+        m = lambda nd: nd.tracker.mark_acc(label)  # noqa: E731
+        out = {
+            "discharged_ah": arr(lambda nd: m(nd).discharged_ah),
+            "charged_ah": arr(lambda nd: m(nd).charged_ah),
+            "region": np.array(
+                [
+                    [
+                        float(m(nd).region_discharged_ah[k])
+                        for nd in self.nodes
+                    ]
+                    for k in _REGION_LABELS
+                ]
+            ),
+            "total_time_s": arr(lambda nd: m(nd).total_time_s),
+            "deep_time_s": arr(lambda nd: m(nd).deep_discharge_time_s),
+        }
+        self._mark_cache[label] = (epoch, out)
+        return out
 
 
 class FleetPowerPath(PowerPath):
@@ -467,6 +552,22 @@ class FleetPowerPath(PowerPath):
         self._op_stored_ah = np.zeros(n)
         self._op_delivered_w = np.zeros(n)
         self._op_absorbed_w = np.zeros(n)
+        # Idle demand of a VM-less, unthrottled, up server: Server.power
+        # collapses to exactly this constant (utilization and migration
+        # terms are exact zeros), so the demand walk can skip two method
+        # calls per empty node. Precomputed with the same expression the
+        # scalar path evaluates.
+        self._idle_demand = [
+            float(
+                nd.server.params.idle_w
+                * (
+                    1.0
+                    - IDLE_DYNAMIC_FRACTION
+                    * (1.0 - nd.server.params.freq_levels[0])
+                )
+            )
+            for nd in self.fleet.nodes
+        ]
 
     # ------------------------------------------------------------------
     def step(
@@ -482,14 +583,15 @@ class FleetPowerPath(PowerPath):
         der = fs.derived(dt)
 
         # --- restart any down node that now has a power prospect --------
+        down_state = ServerPowerState.DOWN
         drawing = sum(
             1
             for nd in nodes
-            if not nd.server.admin_off and nd.server.state.value != "down"
+            if not nd.server.admin_off and nd.server.state is not down_state
         )
         per_node_solar_guess = solar_w / float(drawing + 1)
         for i, node in enumerate(nodes):
-            if node.server.state.value == "down" and not node.server.admin_off:
+            if node.server.state is down_state and not node.server.admin_off:
                 idle = node.server.params.idle_w
                 solar_ok = per_node_solar_guess >= idle
                 battery_ok = (
@@ -502,7 +604,24 @@ class FleetPowerPath(PowerPath):
                     node.server.power_on()
 
         # --- demand (sequential: preserves the RNG draw order) -----------
-        demands = [nd.server.power(nd.server.utilization(t, rng)) for nd in nodes]
+        # VM-less up servers at full frequency draw exactly their idle
+        # constant and make no RNG draws, so the object calls are skipped
+        # for them; every other node goes through Server.power unchanged.
+        up_state = ServerPowerState.UP
+        idle_demand = self._idle_demand
+        demands = []
+        for i, nd in enumerate(nodes):
+            server = nd.server
+            if (
+                not server.vms
+                and server._freq_index == 0
+                and not server.admin_off
+                and not server.policy_off
+                and server.state is up_state
+            ):
+                demands.append(idle_demand[i])
+            else:
+                demands.append(server.power(server.utilization(t, rng)))
         total_demand = sum(demands)
 
         solar_to_load = min(solar_w, total_demand)
@@ -609,10 +728,14 @@ class FleetPowerPath(PowerPath):
         )
 
         # --- advance servers and sensors ----------------------------------
-        for node in nodes:
-            node.server.advance_state(dt)
+        up = fs.server_up
+        for i, node in enumerate(nodes):
+            server = node.server
+            server.advance_state(dt)
+            up[i] = server.state is ServerPowerState.UP
         self._observe_all(dt)
         fs._dirty = True
+        fs._state_version += 1
 
         return PowerFlows(
             demand_w=total_demand,
@@ -633,18 +756,7 @@ class FleetPowerPath(PowerPath):
         self, current: np.ndarray, i_ref: np.ndarray, k_minus_1: np.ndarray
     ) -> np.ndarray:
         """Vector :func:`peukert_factor`, pow via scalar Python floats."""
-        out = np.ones(len(current))
-        hot = np.nonzero((current > i_ref) & (i_ref > 0.0))[0]
-        if len(hot):
-            out[hot] = [
-                (c / ir) ** km1
-                for c, ir, km1 in zip(
-                    current[hot].tolist(),
-                    i_ref[hot].tolist(),
-                    k_minus_1[hot].tolist(),
-                )
-            ]
-        return out
+        return peukert_factor_array(current, i_ref, k_minus_1)
 
     def _discharge_kernel(
         self,

@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 from repro.core.policies.factory import make_policy
-from repro.datacenter.workloads import PAPER_WORKLOADS
+from repro.datacenter.workloads import PAPER_WORKLOADS, standard_mix
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulation
 from repro.sim.scenario import Scenario
@@ -41,6 +41,11 @@ def _assert_equivalent(ref_scenario: Scenario, policy_name: str, days):
     fleet_scenario = dataclasses.replace(ref_scenario, stepper="fleet")
     ref_sim, ref = _run(ref_scenario, policy_name, days)
     fleet_sim, fleet = _run(fleet_scenario, policy_name, days)
+    _assert_runs_match(ref_sim, ref, fleet_sim, fleet)
+    return ref_sim, fleet_sim
+
+
+def _assert_runs_match(ref_sim, ref, fleet_sim, fleet):
 
     # Whole-run outcome: frozen dataclass equality covers throughput,
     # downtime, migrations, unserved/feedback energy, and every per-node
@@ -111,6 +116,54 @@ class TestStressEquivalence:
             workloads=_workloads("web_serving", "data_analytics", "word_count"),
         )
         _assert_equivalent(scenario, policy_name, [DayClass.CLOUDY] * 3)
+
+
+class TestActionRichFleetEquivalence:
+    """A 48-node under-provisioned fleet where every BAAT action class
+    fires: slowdown migrations, consolidation epochs, and parks.
+
+    This is the scenario the vectorized control plane must survive: the
+    array decision kernels run every pass, but triggers force frequent
+    fallbacks into the object-path action ladders, so any drift in the
+    batched predicates (thresholds, reserve, rationing, budget, wake
+    accounting) diverges the runs and fails the golden comparison.
+    """
+
+    def _scenario(self):
+        mix = standard_mix()
+        profiles = tuple(
+            dataclasses.replace(
+                mix[i % len(mix)], name=f"{mix[i % len(mix)].name}-{i}"
+            )
+            for i in range(24)
+        )
+        return Scenario(
+            n_nodes=48,
+            dt_s=300.0,
+            initial_soc=0.55,
+            sunny_day_kwh=24.0,
+            workloads=profiles,
+        )
+
+    def test_48_node_stressed_baat(self):
+        ref_sim, fleet_sim = _assert_equivalent(
+            self._scenario(), "baat", THREE_DAYS
+        )
+        # The comparison is only meaningful if the hard cases actually
+        # happened; guard against the scenario rotting into a quiet one.
+        result_migrations = sum(
+            vm.migrations for vm in fleet_sim.cluster.vms.values()
+        )
+        assert result_migrations > 0
+        assert fleet_sim.policy.monitor.migrations > 0  # Fig.-9 ladder
+        assert fleet_sim.policy.consolidations > 0
+        parked = sum(1 for n in fleet_sim.cluster if n.server.policy_off)
+        assert parked > 0
+        # Both steppers took identical actions, not merely similar ones.
+        assert ref_sim.policy.consolidations == fleet_sim.policy.consolidations
+        assert ref_sim.policy.monitor.migrations == fleet_sim.policy.monitor.migrations
+        assert ref_sim.policy.monitor.parks == fleet_sim.policy.monitor.parks
+        assert ref_sim.policy.monitor.throttles == fleet_sim.policy.monitor.throttles
 
 
 class TestStepperSelection:
