@@ -17,23 +17,45 @@ baseline. This bench measures the step loop three ways:
   everything-on operator configuration ``repro health`` uses. Budgeted
   at :data:`MAX_ALERTING_OVERHEAD_PCT` over disabled.
 
+Standalone runs additionally measure the **enabled-path fleet mode**: a
+1024-node (``--fleet-nodes`` for more) vectorized fleet run untraced vs
+traced to a real JSONL file in columnar ``battery_frame`` telemetry
+(``--telemetry full``) vs traced with legacy per-node sample events.
+Two budgets gate this in CI: frame-mode tracing must stay within
+:data:`MAX_FLEET_TRACED_RATIO` x the untraced fleet run, and the
+frame-mode trace must be at least :data:`MIN_FRAME_SIZE_WIN` x smaller
+on disk than the per-node-event equivalent.
+
 Run standalone (``python benchmarks/bench_obs_overhead.py``) or through
-pytest (``pytest benchmarks/bench_obs_overhead.py -s``). Standalone,
-``--json PATH`` additionally writes the measurements machine-readably
-(the shape CI's ``BENCH_obs.json`` gate consumes); under pytest the same
-payload reaches the suite conftest via ``record_property`` and lands in
-the ``--bench-json`` report.
+pytest (``pytest benchmarks/bench_obs_overhead.py -s``; the pytest path
+skips the minutes-long fleet mode). Standalone, ``--json PATH``
+additionally writes the measurements machine-readably (the shape CI's
+``BENCH_obs.json`` gate consumes); under pytest the same payload reaches
+the suite conftest via ``record_property`` and lands in the
+``--bench-json`` report.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 from time import perf_counter
 
 from repro.core.policies.factory import make_policy
-from repro.obs import ALERTS, BUS, REGISTRY, MemorySink, NullSink
+from repro.obs import (
+    ALERTS,
+    BUS,
+    REGISTRY,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TELEMETRY,
+    TelemetryPolicy,
+    parse_telemetry,
+)
 from repro.obs.alerts import default_rules
 from repro.obs.health import FleetHealthModel
 from repro.sim.engine import Simulation
@@ -57,6 +79,22 @@ REPEATS = 8
 
 #: Steps in the measured run: one day at dt = 120 s.
 STEPS_PER_RUN = 720
+
+#: Enabled-path fleet mode: cluster size, step, repeats, and budgets.
+#: One cloudy day at dt = 300 s -> 288 steps per run.
+FLEET_NODES = 1024
+FLEET_DT_S = 300.0
+FLEET_STEPS = 288
+FLEET_REPEATS = 3
+
+#: A traced fleet run in frame telemetry must stay within this factor of
+#: the untraced fleet run (the per-node-event status quo forfeits most
+#: of the vectorization win).
+MAX_FLEET_TRACED_RATIO = 1.5
+
+#: A frame-mode trace must be at least this many times smaller on disk
+#: than the equivalent per-node-event trace.
+MIN_FRAME_SIZE_WIN = 10.0
 
 
 def _step_loop_seconds(dt_s: float = 120.0) -> float:
@@ -157,6 +195,90 @@ def measure() -> dict:
     }
 
 
+def _fleet_run_seconds(
+    n_nodes: int, telemetry: str | None = None, trace_path: str | None = None
+) -> float:
+    """One fleet-stepper BAAT day; optionally traced to a JSONL file.
+
+    The traced variant attaches a raw :class:`JsonlSink` (no registry,
+    no alerting) so it measures exactly the telemetry cost on top of the
+    fleet fast path — the configuration a scale run would use.
+    """
+    scenario = Scenario(
+        n_nodes=n_nodes,
+        dt_s=FLEET_DT_S,
+        initial_fade=0.10,
+        seed=11,
+        stepper="fleet",
+    )
+    trace = scenario.trace_generator().day(DayClass.CLOUDY)
+    sim = Simulation(scenario, make_policy("baat"), trace)
+    sink = None
+    if trace_path is not None:
+        TELEMETRY.set_policy(parse_telemetry(telemetry or "full"))
+        sink = JsonlSink(trace_path)
+        BUS.add_sink(sink)
+    t0 = perf_counter()
+    try:
+        sim.run()
+        return perf_counter() - t0
+    finally:
+        if sink is not None:
+            BUS.remove_sink(sink)
+            sink.close()
+            TELEMETRY.set_policy(TelemetryPolicy())
+
+
+def measure_fleet(n_nodes: int = FLEET_NODES) -> dict:
+    """Enabled-path overhead of frame telemetry on the fleet stepper."""
+    _fleet_run_seconds(n_nodes)  # warm-up at this size
+    untraced_s = min(_fleet_run_seconds(n_nodes) for _ in range(FLEET_REPEATS))
+    with tempfile.TemporaryDirectory() as tmp:
+        frame_s = float("inf")
+        frame_bytes = 0
+        for i in range(FLEET_REPEATS):
+            path = os.path.join(tmp, f"frames{i}.jsonl")
+            frame_s = min(frame_s, _fleet_run_seconds(n_nodes, "full", path))
+            if i == 0:
+                frame_bytes = os.path.getsize(path)
+        events_path = os.path.join(tmp, "events.jsonl")
+        # The per-node-event status quo is the slow case being replaced;
+        # one round is plenty to place it.
+        events_s = _fleet_run_seconds(n_nodes, "full-events", events_path)
+        event_bytes = os.path.getsize(events_path)
+    return {
+        "n_nodes": n_nodes,
+        "dt_s": FLEET_DT_S,
+        "steps": FLEET_STEPS,
+        "untraced_s": untraced_s,
+        "frame_traced_s": frame_s,
+        "events_traced_s": events_s,
+        "traced_ratio": frame_s / untraced_s,
+        "events_ratio": events_s / untraced_s,
+        "frame_trace_bytes": frame_bytes,
+        "event_trace_bytes": event_bytes,
+        "size_win_x": event_bytes / frame_bytes if frame_bytes else 0.0,
+    }
+
+
+def fleet_report(fleet: dict) -> str:
+    return "\n".join(
+        [
+            f"fleet {fleet['n_nodes']} nodes, {fleet['steps']} steps:",
+            f"  untraced      : {fleet['untraced_s'] * 1e3:8.1f} ms/run",
+            f"  frame traced  : {fleet['frame_traced_s'] * 1e3:8.1f} ms/run "
+            f"({fleet['traced_ratio']:.2f}x, budget "
+            f"{MAX_FLEET_TRACED_RATIO}x)",
+            f"  events traced : {fleet['events_traced_s'] * 1e3:8.1f} ms/run "
+            f"({fleet['events_ratio']:.2f}x)",
+            f"  trace size    : frames {fleet['frame_trace_bytes'] / 1e6:.2f} "
+            f"MB vs events {fleet['event_trace_bytes'] / 1e6:.2f} MB "
+            f"({fleet['size_win_x']:.1f}x smaller, floor "
+            f"{MIN_FRAME_SIZE_WIN}x)",
+        ]
+    )
+
+
 def report(results: dict) -> str:
     return "\n".join(
         [
@@ -172,9 +294,9 @@ def report(results: dict) -> str:
     )
 
 
-def payload(results: dict) -> dict:
+def payload(results: dict, fleet: dict | None = None) -> dict:
     """The machine-readable form of one measurement (``BENCH_obs.json``)."""
-    return {
+    data = {
         **results,
         "steps_per_run": STEPS_PER_RUN,
         "steps_per_s_disabled": STEPS_PER_RUN / results["disabled_s"],
@@ -182,12 +304,20 @@ def payload(results: dict) -> dict:
         "budgets": {
             "null_pct": MAX_NULL_OVERHEAD_PCT,
             "alerting_pct": MAX_ALERTING_OVERHEAD_PCT,
+            "fleet_traced_ratio": MAX_FLEET_TRACED_RATIO,
+            "frame_size_win": MIN_FRAME_SIZE_WIN,
         },
         "ok_null": results["null_overhead_pct"] < MAX_NULL_OVERHEAD_PCT,
         "ok_alerting": (
             results["alerting_overhead_pct"] < MAX_ALERTING_OVERHEAD_PCT
         ),
     }
+    if fleet is not None:
+        data["fleet"] = fleet
+        data["ok_fleet_ratio"] = fleet["traced_ratio"] <= MAX_FLEET_TRACED_RATIO
+        data["ok_fleet_size"] = fleet["size_win_x"] >= MIN_FRAME_SIZE_WIN
+    data["ok"] = all(v for k, v in data.items() if k.startswith("ok_"))
+    return data
 
 
 def test_obs_overhead_null_sink(record_property):
@@ -211,10 +341,22 @@ def main(argv=None) -> int:
         "--json", default=None, metavar="PATH",
         help="also write the measurements as JSON (the BENCH_obs.json shape)",
     )
+    parser.add_argument(
+        "--fleet-nodes", type=int, default=FLEET_NODES, metavar="N",
+        help="cluster size for the enabled-path fleet mode",
+    )
+    parser.add_argument(
+        "--skip-fleet", action="store_true",
+        help="skip the enabled-path fleet measurement",
+    )
     args = parser.parse_args(argv)
     results = measure()
     print(report(results))
-    data = payload(results)
+    fleet = None
+    if not args.skip_fleet:
+        fleet = measure_fleet(args.fleet_nodes)
+        print(fleet_report(fleet))
+    data = payload(results, fleet)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump({"obs_overhead": data}, fh, indent=2, sort_keys=True)
@@ -228,7 +370,18 @@ def main(argv=None) -> int:
         f"alerting overhead {'within' if data['ok_alerting'] else 'EXCEEDS'} "
         f"{MAX_ALERTING_OVERHEAD_PCT} % budget"
     )
-    return 0 if data["ok_null"] and data["ok_alerting"] else 1
+    if fleet is not None:
+        print(
+            f"fleet frame-traced ratio "
+            f"{'within' if data['ok_fleet_ratio'] else 'EXCEEDS'} "
+            f"{MAX_FLEET_TRACED_RATIO}x budget"
+        )
+        print(
+            f"frame trace size win "
+            f"{'meets' if data['ok_fleet_size'] else 'MISSES'} "
+            f"{MIN_FRAME_SIZE_WIN}x floor"
+        )
+    return 0 if data["ok"] else 1
 
 
 if __name__ == "__main__":

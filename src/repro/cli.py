@@ -69,12 +69,16 @@ from repro.campaign import (
     set_default_workers,
 )
 from repro.core.policies.factory import POLICY_NAMES
+from repro.errors import ConfigurationError
 from repro.obs import (
     BUS,
     REGISTRY,
+    FrameDecoder,
     disable_observability,
     enable_observability,
+    expand_frame,
     iter_events,
+    parse_telemetry,
 )
 from repro.rng import DEFAULT_SEED
 from repro.sim.scenario import Scenario
@@ -170,6 +174,15 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
         help="rotate the trace into FILE, FILE.1, ... segments of about "
         "MB megabytes each (readers follow segments transparently)",
     )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="SPEC",
+        help="battery telemetry tier for traced runs: full (one columnar "
+        "battery_frame per step), full-events (lossless per-node sample "
+        "events; the default), sampled:N[:node1,node2] or "
+        "sampled-events:N[:...] (every N-th step, optional node subset), "
+        "summary[:K] (per-step fleet aggregates plus top-K aging "
+        "outliers)",
+    )
 
 
 def _trace_sink_kwargs(args: argparse.Namespace) -> dict:
@@ -177,11 +190,18 @@ def _trace_sink_kwargs(args: argparse.Namespace) -> dict:
     rotate_mb = getattr(args, "trace_rotate_mb", None)
     if rotate_mb is not None and rotate_mb <= 0:
         raise SystemExit("--trace-rotate-mb must be > 0")
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is not None:
+        try:
+            parse_telemetry(telemetry)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
     return {
         "compress": True if getattr(args, "trace_gzip", False) else None,
         "rotate_bytes": (
             int(rotate_mb * 1024 * 1024) if rotate_mb is not None else None
         ),
+        "telemetry": telemetry,
     }
 
 
@@ -199,6 +219,11 @@ def _add_stepper_flag(parser: argparse.ArgumentParser) -> None:
         help="engine stepping path: the per-node reference walk or the "
         "bit-compatible vectorized fleet fast path (see "
         "benchmarks/bench_engine.py for the speedup at scale)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=6, metavar="N",
+        help="cluster size in server+battery nodes (default 6, the "
+        "paper's testbed; pair large N with --stepper fleet)",
     )
 
 
@@ -249,7 +274,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     _apply_execution_flags(args)
     day = DayClass(args.day)
     scenario = Scenario(
-        dt_s=args.dt, initial_fade=args.fade, seed=args.seed, stepper=args.stepper
+        n_nodes=args.nodes, dt_s=args.dt, initial_fade=args.fade,
+        seed=args.seed, stepper=args.stepper,
     )
     trace = scenario.trace_generator().days([day] * args.days)
     print(
@@ -279,7 +305,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     days = (day_mix * ((args.days + len(day_mix) - 1) // len(day_mix)))[: args.days]
 
     scenario = Scenario(
-        dt_s=args.dt, initial_fade=args.fade, seed=args.seed, stepper=args.stepper
+        n_nodes=args.nodes, dt_s=args.dt, initial_fade=args.fade,
+        seed=args.seed, stepper=args.stepper,
     )
     trace = scenario.trace_generator().days(days)
     print(
@@ -329,8 +356,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
     t_min = float("inf")
     t_max = float("-inf")
     total = 0
+    expand = getattr(args, "expand_frames", False)
+    decoder = FrameDecoder()
     try:
         for event in iter_events(args.file, strict=False):
+            if event.kind in ("trace_meta", "run_start"):
+                decoder.reset()
+            if expand and event.kind == "battery_frame":
+                # Present the frame as the per-node samples it encodes.
+                try:
+                    samples = expand_frame(decoder, event)
+                except ConfigurationError as exc:
+                    raise SystemExit(
+                        f"cannot expand frames in {args.file}: {exc}"
+                    )
+                for sample in samples:
+                    total += 1
+                    kinds[sample.kind] += 1
+                    nodes[f"{sample.node}:{sample.kind}"] += 1
+                    t_min = min(t_min, sample.t)
+                    t_max = max(t_max, sample.t)
+                    if args.kind and sample.kind != args.kind:
+                        continue
+                    if args.node and sample.node != args.node:
+                        continue
+                    if printed < args.limit:
+                        print(sample.to_json())
+                        printed += 1
+                continue
             total += 1
             kinds[event.kind] += 1
             node = getattr(event, "node", None)
@@ -545,6 +598,7 @@ def _live_sim_inputs(args: argparse.Namespace):
     """Shared scenario/trace/policy construction for stats-like commands."""
     day = DayClass(args.day)
     scenario = Scenario(
+        n_nodes=getattr(args, "nodes", 6),
         dt_s=args.dt,
         initial_fade=args.fade,
         seed=args.seed,
@@ -766,6 +820,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print only events touching this node")
     trace.add_argument("--limit", type=int, default=20,
                        help="max events to print before the summary (default 20)")
+    trace.add_argument(
+        "--expand-frames", action="store_true",
+        help="decode columnar battery_frame events into the per-node "
+        "battery_sample events they encode (counts/filters apply to "
+        "the expanded samples)",
+    )
 
     explain = sub.add_parser(
         "explain",

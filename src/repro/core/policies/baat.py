@@ -144,8 +144,14 @@ class BAATPolicy(Policy):
         """Batch the consolidation *decision* (not the action ladder) and
         the Fig.-9 monitor checks as array passes. When either decides an
         action is needed, return False so the engine materializes and the
-        object path acts — the rare case by construction."""
-        if BUS.enabled or ALERTS.enabled:
+        object path acts — the rare case by construction.
+
+        An idle pass emits no events on the object path either
+        (consolidation/park/wake events only fire in the acting
+        branches), so plain tracing keeps the array fast path; alerting
+        still forces the object path because check/control feed
+        ``ALERTS.observe`` for every node."""
+        if ALERTS.enabled:
             return False
         if not self._consolidation_idle(t, solar_w, fleet):
             return False

@@ -592,10 +592,14 @@ class SlowdownMonitor:
         trigger predicates (DDT, reserve, ration) for every eligible node
         plus the recovery release. Returns ``False`` — telling the caller
         to materialize and run the object path instead — whenever
-        observability is on (events and alerts must come from the
-        reference code) or any node actually triggers its action ladder;
-        the rare per-node actions are deliberately not replicated in
-        array form.
+        alerting is on (check/control feed ``ALERTS.observe`` for every
+        node, triggered or not), any node actually triggers its action
+        ladder, or a traced pass would release restricted nodes (the
+        object path's ``recover()`` emits the DvfsUncap events); the
+        rare per-node actions are deliberately not replicated in array
+        form. A traced pass with zero triggers and zero releases emits
+        no events on the object path either, so plain tracing keeps the
+        array fast path and traces stay event-for-event identical.
 
         Bit-compatibility: the trigger predicates depend only on battery/
         tracker state and constants, never on earlier actions within the
@@ -603,7 +607,7 @@ class SlowdownMonitor:
         object loop; a pass with zero triggers performs exactly the
         recovery writes, applied here to the same nodes in node order.
         """
-        if BUS.enabled or ALERTS.enabled:
+        if ALERTS.enabled:
             return False
         self._last_t = t
         cfg = self.config
@@ -632,6 +636,10 @@ class SlowdownMonitor:
         # No trigger anywhere: the object loop would only run recover().
         rec = eligible & (soc >= cfg.recovery_soc) & fleet.policy_restricted
         if rec.any():
+            if BUS.enabled:
+                # Releases emit DvfsUncapEvents — those must come from
+                # the object path so traced runs see identical events.
+                return False
             for i in np.nonzero(rec)[0].tolist():
                 node = fleet.nodes[i]
                 node.server.throttle_up()

@@ -18,7 +18,7 @@ from repro.battery.unit import BatteryUnit
 from repro.datacenter.server import Server
 from repro.metrics.tracker import MetricsTracker
 from repro.obs import BUS
-from repro.obs.events import BatterySampleEvent
+from repro.obs.telemetry import TELEMETRY
 
 
 @dataclass
@@ -62,17 +62,19 @@ class Node:
         """Sample the battery into the metrics tracker (sensor poll)."""
         state = self.battery.sample()
         self.tracker.observe(state.soc, state.current_a, dt)
-        # Publish the identical sample so a trace replay reconstructs the
-        # tracker's aging metrics exactly (JSON floats round-trip).
+        # Publish the identical sample through the shared telemetry
+        # helper (also used by the fleet kernel, so the per-node and
+        # frame schemas cannot drift between steppers). In the default
+        # full-events tier a trace replay reconstructs the tracker's
+        # aging metrics exactly (JSON floats round-trip).
         if BUS.enabled:
-            BUS.emit(
-                BatterySampleEvent(
-                    t=BUS.now,
-                    node=self.name,
-                    soc=state.soc,
-                    current_a=state.current_a,
-                    dt=dt,
-                )
+            TELEMETRY.record_sample(
+                BUS.now,
+                self.name,
+                state.soc,
+                state.current_a,
+                dt,
+                tracker=self.tracker,
             )
 
     @property

@@ -28,6 +28,7 @@ from repro.datacenter.cluster import Cluster
 from repro.datacenter.node import Node
 from repro.obs import BUS, REGISTRY
 from repro.obs.events import BrownoutEvent
+from repro.obs.telemetry import TELEMETRY
 from repro.units import SECONDS_PER_HOUR
 
 #: SoC a cut-off battery must recover to before its inverter re-enables
@@ -201,6 +202,11 @@ class PowerPath:
         for node in nodes:
             node.server.advance_state(dt)
             node.observe_battery(dt)
+        if BUS.enabled:
+            # Frame/summary telemetry tiers buffer the per-node samples
+            # above; emit the step's columnar event now that the whole
+            # fleet has been observed.
+            TELEMETRY.flush_step()
 
         return PowerFlows(
             demand_w=total_demand,

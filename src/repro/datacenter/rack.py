@@ -29,6 +29,7 @@ from repro.datacenter.cluster import Cluster
 from repro.datacenter.power_path import RESTART_SOC, PowerFlows
 from repro.obs import BUS
 from repro.obs.events import BrownoutEvent
+from repro.obs.telemetry import TELEMETRY
 from repro.units import SECONDS_PER_HOUR
 
 
@@ -147,6 +148,9 @@ class RackPowerPath:
         for node in nodes:
             node.server.advance_state(dt)
             node.observe_battery(dt)
+        if BUS.enabled:
+            # Flush any buffered frame/summary telemetry for this step.
+            TELEMETRY.flush_step()
 
         return PowerFlows(
             demand_w=total_demand,

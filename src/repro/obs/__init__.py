@@ -57,6 +57,7 @@ from repro.obs.events import (
     EVENT_TYPES,
     AlertEvent,
     BatteryConfigEvent,
+    BatteryFrameEvent,
     BatterySampleEvent,
     BrownoutEvent,
     CellCacheHitEvent,
@@ -69,6 +70,7 @@ from repro.obs.events import (
     DvfsCapEvent,
     DvfsUncapEvent,
     EvacuationEvent,
+    FleetSummaryEvent,
     ParkEvent,
     RunStartEvent,
     SlowdownActionEvent,
@@ -76,6 +78,7 @@ from repro.obs.events import (
     SpanEndEvent,
     SpanStartEvent,
     TraceEvent,
+    TraceMetaEvent,
     VMMigratedEvent,
     VMPlacedEvent,
     WakeEvent,
@@ -112,6 +115,17 @@ from repro.obs.spans import (
     current_cause,
     current_span,
     in_span,
+)
+from repro.obs.telemetry import (
+    SCHEMA_VERSION,
+    TELEMETRY,
+    BatteryTelemetry,
+    FrameDecoder,
+    FrameEncoder,
+    TelemetryPolicy,
+    expand_frame,
+    make_battery_sample,
+    parse_telemetry,
 )
 from repro.obs.timers import STEP_PHASES, StepPhaseTimers, time_phase
 
@@ -166,6 +180,18 @@ __all__ = [
     "BrownoutEvent",
     "BatteryConfigEvent",
     "BatterySampleEvent",
+    "BatteryFrameEvent",
+    "FleetSummaryEvent",
+    "TraceMetaEvent",
+    "SCHEMA_VERSION",
+    "TELEMETRY",
+    "BatteryTelemetry",
+    "TelemetryPolicy",
+    "parse_telemetry",
+    "FrameEncoder",
+    "FrameDecoder",
+    "expand_frame",
+    "make_battery_sample",
     "AlertEvent",
     "VMPlacedEvent",
     "VMMigratedEvent",
@@ -193,6 +219,7 @@ def enable_observability(
     compress: Optional[bool] = None,
     rotate_bytes: Optional[int] = None,
     rotate_events: Optional[int] = None,
+    telemetry=None,
 ) -> Optional[JsonlSink]:
     """Turn the full layer on: registry, alert engine, optional JSONL sink.
 
@@ -204,9 +231,14 @@ def enable_observability(
 
     ``compress``/``rotate_bytes``/``rotate_events`` pass through to
     :class:`~repro.obs.sinks.JsonlSink` (the ``--trace-gzip`` /
-    ``--trace-rotate-mb`` CLI flags).
+    ``--trace-rotate-mb`` CLI flags). ``telemetry`` (a spec string or
+    :class:`~repro.obs.telemetry.TelemetryPolicy`) selects the battery
+    telemetry tier — the ``--telemetry`` flag; the default keeps the
+    lossless per-node ``full-events`` stream.
     """
     global _active_jsonl
+    if telemetry is not None:
+        TELEMETRY.set_policy(telemetry)
     REGISTRY.enabled = True
     if not ALERTS.rules:
         for rule in default_rules():
@@ -235,3 +267,4 @@ def disable_observability() -> None:
     ALERTS.enabled = False
     ALERTS.reset()
     SPANS.reset()
+    TELEMETRY.set_policy(TelemetryPolicy())

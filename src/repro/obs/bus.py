@@ -30,6 +30,7 @@ from contextvars import ContextVar
 from typing import Iterator, List, Optional
 
 from repro.obs.events import TraceEvent
+from repro.obs.metrics import REGISTRY
 from repro.obs.sinks import (
     DEFAULT_MEMORY_SINK_MAXLEN,
     EventSink,
@@ -121,6 +122,9 @@ class TraceBus:
             span = CURRENT_SPAN.get()
             if span:
                 event.span_id = span
+        if REGISTRY.enabled:
+            REGISTRY.counter("obs/events_total").inc()
+            REGISTRY.counter("obs/events/" + event.kind).inc()
         for sink in self._sinks:
             sink.emit(event)
 

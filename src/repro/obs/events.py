@@ -55,6 +55,12 @@ class TraceEvent:
 
     kind: ClassVar[str] = "event"
 
+    #: Subclasses may list fields here to omit from the serialised form
+    #: when falsy (like the provenance ids), for fields that are only
+    #: meaningful on some emissions — e.g. a frame's node roster, which
+    #: only the first frame of a run carries.
+    OMIT_EMPTY_FIELDS: ClassVar[tuple] = ()
+
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
         kind = cls.__dict__.get("kind")
@@ -68,9 +74,10 @@ class TraceEvent:
         keep the pre-provenance wire shape.
         """
         out: Dict[str, Any] = {"kind": self.kind}
+        omit = self.OMIT_EMPTY_FIELDS
         for f in fields(self):
             value = getattr(self, f.name)
-            if f.name in PROVENANCE_FIELDS and not value:
+            if not value and (f.name in PROVENANCE_FIELDS or f.name in omit):
                 continue
             out[f.name] = value
         return out
@@ -159,6 +166,74 @@ class BatterySampleEvent(TraceEvent):
     dt: float = 0.0
 
     kind: ClassVar[str] = "battery_sample"
+
+
+@dataclass
+class TraceMetaEvent(TraceEvent):
+    """Trace header emitted once per run, before ``run_start``.
+
+    Declares the wire-schema version and the telemetry policy the run
+    was recorded under so replay tools (``repro health``/``trace``/
+    ``validate``) know what they are reading — mixed-version or
+    mixed-tier traces fail loudly instead of misparsing.
+    """
+
+    schema: int = 0
+    telemetry: str = ""
+    stepper: str = ""
+    n_nodes: int = 0
+
+    kind: ClassVar[str] = "trace_meta"
+
+
+@dataclass
+class BatteryFrameEvent(TraceEvent):
+    """One step of battery telemetry for the whole fleet, columnar.
+
+    Replaces ``n`` per-node :class:`BatterySampleEvent` lines with a
+    single event carrying comma-joined integer columns: SoC and current
+    are quantized (SoC x 1e8, current x 1e6 A) and delta-encoded
+    against the previous frame, so steady-state columns compress to a
+    few bytes per node.  The node roster (``nodes``) is carried only on
+    the first frame of a run (``seq == 0``) and omitted afterwards.
+
+    Frames are *lossy at the quantum* (5e-9 SoC / 5e-7 A worst-case
+    round error — far inside the 1e-6 health-replay contract); per-node
+    sample events remain the lossless format.
+    """
+
+    n: int = 0
+    dt: float = 0.0
+    seq: int = 0
+    nodes: str = ""
+    soc: str = ""
+    cur: str = ""
+
+    kind: ClassVar[str] = "battery_frame"
+    OMIT_EMPTY_FIELDS: ClassVar[tuple] = ("nodes",)
+
+
+@dataclass
+class FleetSummaryEvent(TraceEvent):
+    """Per-step fleet aggregate for the ``summary`` telemetry tier.
+
+    Carries the distributional SoC picture plus step charge/discharge
+    totals and the top-K aging outliers (``"node:score"`` pairs by the
+    Eq.-6 composite), so fleet-level alerting still has a signal when
+    per-node telemetry is turned off.
+    """
+
+    n: int = 0
+    dt: float = 0.0
+    soc_mean: float = 0.0
+    soc_min: float = 0.0
+    soc_max: float = 0.0
+    soc_p10: float = 0.0
+    discharge_ah: float = 0.0
+    charge_ah: float = 0.0
+    top: str = ""
+
+    kind: ClassVar[str] = "fleet_summary"
 
 
 @dataclass
@@ -401,7 +476,13 @@ def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
 
 
 def read_events(path: str, strict: bool = True) -> List[TraceEvent]:
-    """Read a whole JSONL trace (all rotated segments) into typed events."""
+    """Read a whole JSONL trace (all rotated segments) into typed events.
+
+    Test helper only: this materializes the entire trace in memory.
+    Replay consumers (CLI subcommands, health/provenance models,
+    exporters) must stream via :func:`iter_events` instead so multi-GB
+    rotated traces never build a full in-memory list.
+    """
     return list(iter_events(path, strict=strict))
 
 

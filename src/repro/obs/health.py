@@ -36,9 +36,11 @@ from repro.metrics.weighted import (
     MetricWeights,
     node_aging_score,
 )
+from repro.errors import ConfigurationError
 from repro.obs.alerts import AlertEngine
 from repro.obs.events import TraceEvent
 from repro.obs.sinks import EventSink
+from repro.obs.telemetry import FrameDecoder
 from repro.units import SECONDS_PER_DAY
 
 
@@ -159,6 +161,9 @@ class RunHealth:
     n_nodes: int = 0
     t_last: float = 0.0
     days_closed: int = 0
+    #: From the trace_meta header, when the trace carried one.
+    telemetry: str = ""
+    stepper: str = ""
     batteries: Dict[str, BatteryHealth] = field(default_factory=dict)
     event_counts: Dict[str, int] = field(default_factory=dict)
     alerts: List[TraceEvent] = field(default_factory=list)
@@ -205,6 +210,11 @@ class FleetHealthModel(EventSink):
         self.runs: List[RunHealth] = []
         self._run: Optional[RunHealth] = None
         self.n_events = 0
+        # Streaming decoder for columnar battery_frame events (frame
+        # telemetry tier); reset at every run boundary so each run's
+        # delta chain decodes independently.
+        self._frames = FrameDecoder()
+        self._pending_meta: Optional[TraceEvent] = None
 
     # ------------------------------------------------------------------
     # Stream consumption (EventSink contract)
@@ -212,6 +222,13 @@ class FleetHealthModel(EventSink):
     def emit(self, event: TraceEvent) -> None:  # noqa: C901 - dispatcher
         self.n_events += 1
         kind = event.kind
+        if kind == "trace_meta":
+            # Header for the run about to start: reset the frame
+            # decoder, but do not open an (anonymous) run scope — the
+            # matching run_start follows immediately.
+            self._frames.reset()
+            self._pending_meta = event
+            return
         if kind == "run_start":
             run = RunHealth(
                 index=len(self.runs),
@@ -220,6 +237,12 @@ class FleetHealthModel(EventSink):
             )
             self.runs.append(run)
             self._run = run
+            self._frames.reset()
+            meta = self._pending_meta
+            if meta is not None:
+                run.telemetry = getattr(meta, "telemetry", "")
+                run.stepper = getattr(meta, "stepper", "")
+                self._pending_meta = None
             return
         run = self._current_run()
         run.event_counts[kind] = run.event_counts.get(kind, 0) + 1
@@ -241,6 +264,24 @@ class FleetHealthModel(EventSink):
             )
             battery.n_samples += 1
             battery.last_soc = event.soc
+        elif kind == "battery_frame":
+            # A frame expands to the identical per-node tracker updates
+            # (within the codec quantum — see obs.telemetry), keeping
+            # the 1e-6 health-vs-engine contract.
+            try:
+                samples = self._frames.decode(event)
+            except ConfigurationError:
+                # Undecodable (e.g. a sliced trace missing the roster
+                # frame): already counted above, nothing to fold.
+                return
+            dt = event.dt
+            for node, soc, current_a in samples:
+                battery = run.battery(node)
+                battery.acc.observe(
+                    soc, current_a, dt, battery.config.reference_current
+                )
+                battery.n_samples += 1
+                battery.last_soc = soc
         elif kind == "day_start":
             self._close_day(run, event.t)
         elif kind == "dod_goal":

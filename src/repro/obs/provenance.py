@@ -37,6 +37,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import MetricRegistry
 from repro.obs.sinks import EventSink
+from repro.obs.telemetry import SCHEMA_VERSION
 
 #: Kinds kept in the eid index. High-volume telemetry (battery samples,
 #: day starts) is counted but not stored, so a month-scale trace indexes
@@ -484,6 +485,11 @@ def validate_trace(path: str, max_violations: int = 100) -> TraceValidation:
     last_t_run: Optional[float] = None
     last_t_campaign: Optional[float] = None
     last_run_kind = ""
+    # battery_frame chain state, reset at every run boundary: the
+    # roster size declared by the run's first frame, and the last seq
+    # seen (frames delta-encode, so a gap breaks every later frame).
+    frame_roster: Optional[int] = None
+    last_frame_seq: Optional[int] = None
     truncated = False
 
     def violation(segment: str, line_no: int, message: str) -> bool:
@@ -551,6 +557,59 @@ def validate_trace(path: str, max_violations: int = 100) -> TraceValidation:
                 result.n_valid += 1
                 result.kind_counts[kind] = result.kind_counts.get(kind, 0) + 1
 
+                if kind == "trace_meta":
+                    schema = data.get("schema", 0)
+                    if schema != SCHEMA_VERSION:
+                        truncated = violation(
+                            segment,
+                            line_no,
+                            f"trace schema {schema} is not the supported "
+                            f"version {SCHEMA_VERSION}",
+                        )
+                        if truncated:
+                            break
+                elif kind == "battery_frame":
+                    n = data.get("n", 0)
+                    nodes_text = data.get("nodes", "")
+                    seq = data.get("seq", 0)
+                    frame_problems = []
+                    if nodes_text:
+                        frame_roster = len(nodes_text.split(","))
+                        if seq != 0:
+                            frame_problems.append(
+                                f"roster carried on mid-run frame seq={seq}"
+                            )
+                    if frame_roster is None:
+                        frame_problems.append(
+                            "frame before any roster-carrying frame"
+                        )
+                    elif n != frame_roster:
+                        frame_problems.append(
+                            f"n={n} does not match roster of {frame_roster}"
+                        )
+                    if last_frame_seq is not None and seq != last_frame_seq + 1:
+                        frame_problems.append(
+                            f"seq {seq} after {last_frame_seq} "
+                            f"(delta chain broken)"
+                        )
+                    last_frame_seq = seq
+                    for column in ("soc", "cur"):
+                        text = data.get(column, "")
+                        count = len(text.split(",")) if text else 0
+                        if count != n:
+                            frame_problems.append(
+                                f"{column} column has {count} entries, "
+                                f"expected {n}"
+                            )
+                    for problem in frame_problems:
+                        truncated = violation(
+                            segment, line_no, "battery_frame: " + problem
+                        )
+                        if truncated:
+                            break
+                    if truncated:
+                        break
+
                 t = data.get("t", 0.0)
                 scope = data.get("scope", "run")
                 campaign_clock = (
@@ -558,10 +617,15 @@ def validate_trace(path: str, max_violations: int = 100) -> TraceValidation:
                     or (kind in ("span_start", "span_end") and scope == "campaign")
                     or (kind == "alert" and data.get("node") == "campaign")
                 )
-                if kind == "run_start":
+                if kind == "run_start" or kind == "trace_meta":
+                    # Both open a fresh run scope: trace_meta is the
+                    # header stamped just before its run_start.
                     last_t_run = t
                     last_run_kind = kind
-                    result.n_runs += 1
+                    frame_roster = None
+                    last_frame_seq = None
+                    if kind == "run_start":
+                        result.n_runs += 1
                 elif campaign_clock:
                     if last_t_campaign is not None and t < last_t_campaign:
                         truncated = violation(

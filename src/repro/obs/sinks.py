@@ -19,6 +19,7 @@ from typing import IO, Deque, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.obs.events import TraceEvent, segment_path
+from repro.obs.metrics import REGISTRY
 
 #: Default :class:`MemorySink` ring size. At the BAAT scenario's
 #: telemetry rate (6 nodes x 1 sample/min plus control events, roughly
@@ -109,6 +110,8 @@ class JsonlSink(EventSink):
     ):
         self._flush_every = max(1, flush_every)
         self.n_written = 0
+        self.bytes_written = 0  # total uncompressed line bytes, all segments
+        self.segments_rotated = 0
         self._rotate_bytes = rotate_bytes
         self._rotate_events = rotate_events
         self._segment_index = 0
@@ -165,8 +168,12 @@ class JsonlSink(EventSink):
         self._fh.write(line)
         self._fh.write("\n")
         self.n_written += 1
-        self._segment_bytes += len(line) + 1
+        line_bytes = len(line) + 1
+        self.bytes_written += line_bytes
+        self._segment_bytes += line_bytes
         self._segment_events += 1
+        if REGISTRY.enabled:
+            REGISTRY.counter("obs/sink_bytes").inc(line_bytes)
         if self.n_written % self._flush_every == 0:
             self._fh.flush()
         if self._owns_fh and self._should_rotate():
@@ -175,6 +182,9 @@ class JsonlSink(EventSink):
             self._segment_bytes = 0
             self._segment_events = 0
             self._fh = self._open_segment(self._segment_index)
+            self.segments_rotated += 1
+            if REGISTRY.enabled:
+                REGISTRY.counter("obs/segments_rotated").inc()
 
     def close(self) -> None:
         if self._fh.closed:

@@ -1,0 +1,550 @@
+"""Scale-ready battery telemetry: tiers, columnar frames, shared emission.
+
+The observability layer's original per-node ``battery_sample`` stream
+costs O(nodes x steps) Python work and disk bytes — ~15M events per
+simulated day at 10,240 nodes — which forfeits most of the fleet
+stepper's vectorization win the moment tracing is on.  This module makes
+telemetry cost O(steps):
+
+``TelemetryPolicy`` / :func:`parse_telemetry`
+    The tier/cardinality config selected with ``--telemetry``:
+
+    - ``full`` — every node every step, as one columnar
+      :class:`~repro.obs.events.BatteryFrameEvent` per step;
+    - ``full-events`` / ``events`` — the legacy lossless per-node
+      :class:`~repro.obs.events.BatterySampleEvent` stream (the process
+      default, so untouched callers see the historical wire format);
+    - ``sampled:N[:node1,node2]`` — every N-th step (and optionally a
+      node subset) in frame form; ``sampled-events:N[...]`` likewise in
+      per-node form.  Emitted samples carry ``dt = N x step_dt`` so the
+      time integral is preserved;
+    - ``summary[:K]`` — one :class:`~repro.obs.events.FleetSummaryEvent`
+      per step: SoC mean/min/max/p10, step charge/discharge Ah, and the
+      top-K aging outliers by the Eq.-6 composite score.
+
+:class:`FrameEncoder` / :class:`FrameDecoder`
+    The columnar codec: SoC and current quantized to integers (x1e8 /
+    x1e6) and delta-encoded frame-over-frame; the node roster rides only
+    on a run's first frame.  A frame expands back into the *identical*
+    per-node tracker updates (within the quantum), so
+    ``FleetHealthModel`` replay keeps its 1e-6 contract vs the engine.
+
+``TELEMETRY`` (:class:`BatteryTelemetry`)
+    The singleton both steppers publish through: ``Node.observe_battery``
+    calls :meth:`~BatteryTelemetry.record_sample` per node (with a
+    :meth:`~BatteryTelemetry.flush_step` from the power path at step
+    end), the fleet kernel calls
+    :meth:`~BatteryTelemetry.record_fleet_step` once per step with the
+    state arrays.  One emission helper means the per-node and frame
+    schemas cannot drift between steppers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.weighted import EQUAL_WEIGHTS, NAT_SCORE_SCALE, node_aging_score
+from repro.obs.bus import BUS
+from repro.obs.events import BatteryFrameEvent, BatterySampleEvent, FleetSummaryEvent
+from repro.obs.metrics import REGISTRY
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SOC_SCALE",
+    "CUR_SCALE",
+    "TelemetryPolicy",
+    "parse_telemetry",
+    "make_battery_sample",
+    "FrameEncoder",
+    "FrameDecoder",
+    "expand_frame",
+    "BatteryTelemetry",
+    "TELEMETRY",
+]
+
+#: Trace wire-schema version stamped into ``trace_meta`` headers.
+#: Version 2 introduces frame/summary events and the header itself;
+#: ``validate_trace`` rejects mismatched versions loudly.
+SCHEMA_VERSION = 2
+
+#: Quantization scales for frame columns. SoC lives in [0, 1] so 1e8
+#: gives a 1e-8 quantum (5e-9 worst-case round error); currents are
+#: O(10 A) so 1e6 gives a 1e-6 A quantum. Both are far inside the 1e-6
+#: health-replay tolerance.
+SOC_SCALE = 1e8
+CUR_SCALE = 1e6
+
+#: Refresh the ``obs/frame_compression_x`` gauge every this many frames
+#: (re-serializing the per-node equivalent is too costly to do per step).
+_COMPRESSION_GAUGE_EVERY = 128
+
+
+def make_battery_sample(
+    t: float, node: str, soc: float, current_a: float, dt: float
+) -> BatterySampleEvent:
+    """The one place a ``battery_sample`` event is constructed.
+
+    Shared by the reference per-node path, the fleet kernel's events
+    mode, and frame expansion, so the sample schema cannot silently
+    diverge between steppers or between live and replayed telemetry.
+    """
+    return BatterySampleEvent(t=t, node=node, soc=soc, current_a=current_a, dt=dt)
+
+
+@dataclass(frozen=True)
+class TelemetryPolicy:
+    """Which battery telemetry a traced run publishes, and in what form.
+
+    The default (``full-events``) reproduces the historical wire format
+    exactly: one lossless per-node sample event per node per step.
+    """
+
+    tier: str = "full"  # "full" | "sampled" | "summary"
+    frames: bool = False  # columnar frames vs per-node sample events
+    every: int = 1  # sampled: emit every N-th step
+    nodes: Optional[Tuple[str, ...]] = None  # sampled: node subset
+    top_k: int = 5  # summary: outlier count
+
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through
+        :func:`parse_telemetry`); recorded in ``trace_meta`` headers."""
+        if self.tier == "summary":
+            return f"summary:{self.top_k}"
+        if self.tier == "sampled":
+            base = "sampled" if self.frames else "sampled-events"
+            out = f"{base}:{self.every}"
+            if self.nodes:
+                out += ":" + ",".join(self.nodes)
+            return out
+        return "full" if self.frames else "full-events"
+
+
+def parse_telemetry(spec: str) -> TelemetryPolicy:
+    """Parse a ``--telemetry`` spec string into a :class:`TelemetryPolicy`.
+
+    Grammar: ``full`` | ``full-events`` | ``events`` |
+    ``sampled[-events]:N[:node1,node2,...]`` | ``summary[:K]``.
+    """
+    text = spec.strip()
+    head, _, rest = text.partition(":")
+    head = head.strip().lower()
+    if head == "full" or head == "full-events" or head == "events":
+        if rest:
+            raise ConfigurationError(f"telemetry tier {head!r} takes no arguments: {spec!r}")
+        return TelemetryPolicy(tier="full", frames=(head == "full"))
+    if head == "summary":
+        top_k = 5
+        if rest:
+            try:
+                top_k = int(rest)
+            except ValueError:
+                raise ConfigurationError(f"summary top-K must be an integer: {spec!r}") from None
+            if top_k < 1:
+                raise ConfigurationError(f"summary top-K must be >= 1: {spec!r}")
+        return TelemetryPolicy(tier="summary", top_k=top_k)
+    if head == "sampled" or head == "sampled-events":
+        if not rest:
+            raise ConfigurationError(f"sampled telemetry needs a period: {spec!r} (e.g. sampled:15)")
+        period, _, node_part = rest.partition(":")
+        try:
+            every = int(period)
+        except ValueError:
+            raise ConfigurationError(f"sampled period must be an integer: {spec!r}") from None
+        if every < 1:
+            raise ConfigurationError(f"sampled period must be >= 1: {spec!r}")
+        nodes: Optional[Tuple[str, ...]] = None
+        if node_part:
+            nodes = tuple(n.strip() for n in node_part.split(",") if n.strip())
+            if not nodes:
+                raise ConfigurationError(f"empty node subset in telemetry spec: {spec!r}")
+        return TelemetryPolicy(
+            tier="sampled", frames=(head == "sampled"), every=every, nodes=nodes
+        )
+    raise ConfigurationError(
+        f"unknown telemetry spec {spec!r}; expected full, full-events, "
+        f"sampled:N[:nodes], sampled-events:N[:nodes], or summary[:K]"
+    )
+
+
+class FrameEncoder:
+    """Columnar encoder for one run's battery frames.
+
+    Holds the quantized previous-frame columns so each frame stores only
+    deltas; the first frame (``seq == 0``) deltas against zero and
+    carries the node roster.
+    """
+
+    __slots__ = ("names", "n", "seq", "_prev_soc", "_prev_cur")
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.names = list(names)
+        self.n = len(self.names)
+        self.seq = 0
+        self._prev_soc = [0] * self.n
+        self._prev_cur = [0] * self.n
+
+    def encode(
+        self, t: float, dt: float, soc: Sequence[float], current: Sequence[float]
+    ) -> BatteryFrameEvent:
+        soc_q = [int(round(s * SOC_SCALE)) for s in soc]
+        cur_q = [int(round(c * CUR_SCALE)) for c in current]
+        soc_col = ",".join(str(q - p) for q, p in zip(soc_q, self._prev_soc))
+        cur_col = ",".join(str(q - p) for q, p in zip(cur_q, self._prev_cur))
+        self._prev_soc = soc_q
+        self._prev_cur = cur_q
+        event = BatteryFrameEvent(
+            t=t,
+            dt=dt,
+            n=self.n,
+            seq=self.seq,
+            nodes=",".join(self.names) if self.seq == 0 else "",
+            soc=soc_col,
+            cur=cur_col,
+        )
+        self.seq += 1
+        return event
+
+
+class FrameDecoder:
+    """Streaming decoder: feed frames in trace order, get samples back.
+
+    Stateful by necessity (delta chains); call :meth:`reset` at every
+    ``run_start``/``trace_meta`` boundary so runs decode independently.
+    """
+
+    __slots__ = ("names", "_prev_soc", "_prev_cur")
+
+    def __init__(self) -> None:
+        self.names: Optional[List[str]] = None
+        self._prev_soc: List[int] = []
+        self._prev_cur: List[int] = []
+
+    def reset(self) -> None:
+        self.names = None
+        self._prev_soc = []
+        self._prev_cur = []
+
+    def decode(self, frame: BatteryFrameEvent) -> List[Tuple[str, float, float]]:
+        """Expand one frame into ``(node, soc, current_a)`` triples."""
+        if frame.nodes:
+            self.names = frame.nodes.split(",")
+            self._prev_soc = [0] * len(self.names)
+            self._prev_cur = [0] * len(self.names)
+        if self.names is None:
+            raise ConfigurationError(
+                "battery_frame before any roster-carrying frame (sliced trace?)"
+            )
+        if frame.n != len(self.names):
+            raise ConfigurationError(
+                f"battery_frame n={frame.n} does not match roster of {len(self.names)} nodes"
+            )
+        soc_q = self._apply(self._prev_soc, frame.soc, frame.n, "soc")
+        cur_q = self._apply(self._prev_cur, frame.cur, frame.n, "cur")
+        self._prev_soc = soc_q
+        self._prev_cur = cur_q
+        return [
+            (name, sq / SOC_SCALE, cq / CUR_SCALE)
+            for name, sq, cq in zip(self.names, soc_q, cur_q)
+        ]
+
+    @staticmethod
+    def _apply(prev: List[int], column: str, n: int, label: str) -> List[int]:
+        try:
+            deltas = [int(x) for x in column.split(",")] if column else []
+        except ValueError:
+            raise ConfigurationError(f"battery_frame {label} column is not integer deltas") from None
+        if len(deltas) != n:
+            raise ConfigurationError(
+                f"battery_frame {label} column has {len(deltas)} entries, expected {n}"
+            )
+        return [p + d for p, d in zip(prev, deltas)]
+
+
+def expand_frame(decoder: FrameDecoder, frame: BatteryFrameEvent) -> List[BatterySampleEvent]:
+    """Expand a frame into the per-node sample events it stands for.
+
+    The synthetic samples carry the frame's ``t``/``dt`` and go through
+    :func:`make_battery_sample`, so downstream consumers see exactly the
+    events the ``full-events`` tier would have written (modulo the
+    quantum and provenance ids).
+    """
+    return [
+        make_battery_sample(frame.t, name, soc, cur, frame.dt)
+        for name, soc, cur in decoder.decode(frame)
+    ]
+
+
+class BatteryTelemetry:
+    """Process-wide battery telemetry publisher (singleton ``TELEMETRY``).
+
+    Both steppers route their per-step battery observations here; the
+    active :class:`TelemetryPolicy` decides what actually reaches the
+    bus.  Per-run state (frame delta chains, step buffers) is reset by
+    :meth:`start_run`.
+    """
+
+    def __init__(self) -> None:
+        self.policy = TelemetryPolicy()
+        self._reset_run()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _reset_run(self) -> None:
+        self._encoder: Optional[FrameEncoder] = None
+        self._node_set = frozenset(self.policy.nodes) if self.policy.nodes else None
+        self._sel_idx = None  # fleet-path subset indices (lazy)
+        self._sel_names: Optional[List[str]] = None
+        self._frames_out = 0
+        self._clear_buffer()
+
+    def _clear_buffer(self) -> None:
+        self._buf_names: List[str] = []
+        self._buf_soc: List[float] = []
+        self._buf_cur: List[float] = []
+        self._buf_trackers: List[object] = []
+        self._buf_t = 0.0
+        self._buf_dt = 0.0
+
+    def set_policy(self, policy) -> None:
+        """Install a policy (a :class:`TelemetryPolicy` or a spec string)."""
+        if isinstance(policy, str):
+            policy = parse_telemetry(policy)
+        self.policy = policy
+        self._reset_run()
+
+    def start_run(self) -> None:
+        """Engine hook at run begin: drop stale per-run state so each
+        run's first frame re-carries the roster and deltas re-anchor."""
+        self._reset_run()
+
+    def end_run(self) -> None:
+        """Engine hook at run end: flush any buffered partial step."""
+        self.flush_step()
+
+    # -- per-node (reference stepper) path ----------------------------
+
+    def record_sample(
+        self,
+        t: float,
+        node: str,
+        soc: float,
+        current_a: float,
+        dt: float,
+        tracker=None,
+    ) -> None:
+        """Publish one node's sensor poll (reference power paths).
+
+        In ``full-events``/``sampled-events`` tiers this emits the
+        sample immediately (preserving the historical per-node event
+        order); frame and summary tiers buffer until
+        :meth:`flush_step`.  ``tracker`` (the node's
+        :class:`~repro.metrics.tracker.MetricsTracker`) feeds the
+        summary tier's outlier scores.
+        """
+        policy = self.policy
+        if policy.tier == "summary":
+            self._buf_t = t
+            self._buf_dt = dt
+            self._buf_names.append(node)
+            self._buf_soc.append(soc)
+            self._buf_cur.append(current_a)
+            self._buf_trackers.append(tracker)
+            return
+        if self._node_set is not None and node not in self._node_set:
+            return
+        if not self._step_selected(t, dt):
+            return
+        dt_eff = dt * policy.every
+        if not policy.frames:
+            BUS.emit(make_battery_sample(t, node, soc, current_a, dt_eff))
+            return
+        self._buf_t = t
+        self._buf_dt = dt_eff
+        self._buf_names.append(node)
+        self._buf_soc.append(soc)
+        self._buf_cur.append(current_a)
+
+    def flush_step(self) -> None:
+        """End-of-step hook for the per-node paths: emit the buffered
+        frame or summary, if the step produced one."""
+        if not self._buf_names:
+            return
+        policy = self.policy
+        if policy.tier == "summary":
+            BUS.emit(self._summary_scalar())
+        elif policy.frames:
+            encoder = self._encoder
+            if encoder is None or encoder.names != self._buf_names:
+                encoder = self._encoder = FrameEncoder(self._buf_names)
+            frame = encoder.encode(self._buf_t, self._buf_dt, self._buf_soc, self._buf_cur)
+            self._emit_frame(frame, self._buf_names, self._buf_soc, self._buf_cur)
+        self._clear_buffer()
+
+    # -- fleet (vectorized stepper) path ------------------------------
+
+    def record_fleet_step(self, t: float, dt: float, fleet) -> None:
+        """Publish one step of the whole fleet from the state arrays.
+
+        One call per step; no per-node Python loop unless the tier
+        actually asks for per-node events.
+        """
+        policy = self.policy
+        if policy.tier == "summary":
+            BUS.emit(self._summary_fleet(t, dt, fleet))
+            return
+        if not self._step_selected(t, dt):
+            return
+        dt_eff = dt * policy.every
+        names, soc, cur = self._fleet_view(fleet)
+        if policy.frames:
+            encoder = self._encoder
+            if encoder is None or encoder.names != names:
+                encoder = self._encoder = FrameEncoder(names)
+            frame = encoder.encode(t, dt_eff, soc, cur)
+            self._emit_frame(frame, names, soc, cur)
+        else:
+            for name, s, c in zip(names, soc, cur):
+                BUS.emit(make_battery_sample(t, name, s, c, dt_eff))
+
+    def _fleet_view(self, fleet):
+        """(names, soc list, current list) for the selected node subset.
+
+        ``.tolist()`` round-trips the float64 arrays bit-exactly, so
+        events mode stays byte-identical with the reference stepper.
+        """
+        if self._node_set is None:
+            return fleet.node_names, fleet.soc.tolist(), fleet.last_current.tolist()
+        if self._sel_idx is None or self._sel_names is None:
+            self._sel_idx = [
+                i for i, name in enumerate(fleet.node_names) if name in self._node_set
+            ]
+            self._sel_names = [fleet.node_names[i] for i in self._sel_idx]
+        soc = fleet.soc
+        cur = fleet.last_current
+        return (
+            self._sel_names,
+            [float(soc[i]) for i in self._sel_idx],
+            [float(cur[i]) for i in self._sel_idx],
+        )
+
+    # -- shared internals ---------------------------------------------
+
+    def _step_selected(self, t: float, dt: float) -> bool:
+        """Stateless every-N gating, identical across steppers.
+
+        Uses the step ordinal derived from ``t``/``dt`` (both steppers
+        present the same clock), keeping every N-th step and dropping a
+        trailing partial window.
+        """
+        every = self.policy.every
+        if every <= 1:
+            return True
+        return (int(round(t / dt)) + 1) % every == 0
+
+    def _emit_frame(self, frame, names, socs, curs) -> None:
+        BUS.emit(frame)
+        self._frames_out += 1
+        if REGISTRY.enabled and (
+            self._frames_out == 1 or self._frames_out % _COMPRESSION_GAUGE_EVERY == 0
+        ):
+            frame_bytes = len(frame.to_json()) + 1
+            sample_bytes = sum(
+                len(make_battery_sample(frame.t, name, s, c, frame.dt).to_json()) + 1
+                for name, s, c in zip(names, socs, curs)
+            )
+            if frame_bytes:
+                REGISTRY.gauge("obs/frame_compression_x").set(sample_bytes / frame_bytes)
+
+    # -- summary tier -------------------------------------------------
+
+    def _top_k_text(self, scored) -> str:
+        """``"node:score,..."`` for the K worst (highest-score) nodes."""
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        k = min(self.policy.top_k, len(scored))
+        return ",".join(f"{name}:{score:.6g}" for name, score in scored[:k])
+
+    def _summary_scalar(self) -> FleetSummaryEvent:
+        socs = self._buf_soc
+        curs = self._buf_cur
+        dt = self._buf_dt
+        n = len(socs)
+        discharge_ah = sum(c * dt / 3600.0 for c in curs if c > 0.0)
+        charge_ah = sum(-c * dt / 3600.0 for c in curs if c < 0.0)
+        scored = [
+            (name, node_aging_score(tracker.lifetime(), EQUAL_WEIGHTS))
+            for name, tracker in zip(self._buf_names, self._buf_trackers)
+            if tracker is not None
+        ]
+        ordered = sorted(socs)
+        return FleetSummaryEvent(
+            t=self._buf_t,
+            dt=dt,
+            n=n,
+            soc_mean=sum(socs) / n,
+            soc_min=ordered[0],
+            soc_max=ordered[-1],
+            soc_p10=ordered[int(0.1 * (n - 1))],
+            discharge_ah=discharge_ah,
+            charge_ah=charge_ah,
+            top=self._top_k_text(scored),
+        )
+
+    def _summary_fleet(self, t: float, dt: float, fleet) -> FleetSummaryEvent:
+        import numpy as np
+
+        soc = fleet.soc
+        cur = fleet.last_current
+        n = soc.shape[0]
+        discharge_ah = float(cur[cur > 0.0].sum()) * dt / 3600.0
+        charge_ah = float(-cur[cur < 0.0].sum()) * dt / 3600.0
+        scores = self._fleet_scores(fleet, np)
+        order = np.argsort(-scores, kind="stable")[: min(self.policy.top_k, n)]
+        top = ",".join(
+            f"{fleet.node_names[i]}:{scores[i]:.6g}" for i in order.tolist()
+        )
+        ordered = np.sort(soc)
+        return FleetSummaryEvent(
+            t=t,
+            dt=dt,
+            n=n,
+            soc_mean=float(soc.mean()),
+            soc_min=float(ordered[0]),
+            soc_max=float(ordered[-1]),
+            soc_p10=float(ordered[int(0.1 * (n - 1))]),
+            discharge_ah=discharge_ah,
+            charge_ah=charge_ah,
+            top=top,
+        )
+
+    @staticmethod
+    def _fleet_scores(fleet, np):
+        """Vectorized lifetime Eq.-6 scores from the tracker arrays.
+
+        Mirrors ``node_aging_score(tracker.lifetime(), EQUAL_WEIGHTS)``
+        term by term (NAT saturation, CF deficit with the
+        charge-only/idle conventions, Peukert class from region Ah
+        shares).  Summary aggregates carry no cross-stepper bitwise
+        contract — only the per-node tiers do.
+        """
+        discharged = fleet.tr_discharged_ah
+        charged = fleet.tr_charged_ah
+        has_discharge = discharged > 0.0
+        safe_discharged = np.where(has_discharge, discharged, 1.0)
+        nat_term = np.minimum(1.0, (discharged / fleet.tracker_lifetime_ah) * NAT_SCORE_SCALE)
+        cf = charged / safe_discharged
+        cf_deficit = np.where(
+            has_discharge & (cf < 1.0), 1.0 - np.maximum(cf, 0.0), 0.0
+        )
+        region_weights = np.array([1.0, 2.0, 3.0, 4.0])
+        shares = fleet.tr_region / safe_discharged
+        pc = np.where(
+            has_discharge, (shares * region_weights[:, None]).sum(axis=0) / 4.0, 0.0
+        )
+        w = EQUAL_WEIGHTS
+        return w.cf * cf_deficit + w.pc * pc + w.nat * nat_term
+
+
+#: Process-wide singleton both steppers publish through.
+TELEMETRY = BatteryTelemetry()

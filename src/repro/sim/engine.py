@@ -32,8 +32,10 @@ from repro.obs.events import (
     DayStartEvent,
     RunStartEvent,
     SocCrossingEvent,
+    TraceMetaEvent,
 )
 from repro.obs.spans import SPANS
+from repro.obs.telemetry import SCHEMA_VERSION, TELEMETRY
 from repro.obs.timers import StepPhaseTimers
 from repro.rng import spawn
 from repro.sim.recorder import LOW_SOC_THRESHOLD, TraceRecorder
@@ -129,6 +131,19 @@ class Simulation:
             # its open run-scope spans must not leak into this run's trace
             # (campaign-scope spans — the enclosing cell — survive).
             SPANS.reset(scope="run")
+            # Reset the telemetry layer's per-run state (frame delta
+            # chains re-anchor) and stamp the trace header first so
+            # replay tools know the schema/tier before any payload.
+            TELEMETRY.start_run()
+            BUS.emit(
+                TraceMetaEvent(
+                    t=0.0,
+                    schema=SCHEMA_VERSION,
+                    telemetry=TELEMETRY.policy.spec(),
+                    stepper=self.scenario.stepper,
+                    n_nodes=len(self.cluster),
+                )
+            )
             BUS.emit(
                 RunStartEvent(
                     t=0.0,
@@ -378,6 +393,9 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def _collect(self) -> SimResult:
+        if BUS.enabled:
+            # Flush any telemetry buffered for a partial final step.
+            TELEMETRY.end_run()
         if self._fleet is not None:
             self._fleet.materialize()
         nodes = []

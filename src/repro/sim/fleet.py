@@ -66,7 +66,8 @@ from repro.datacenter.power_path import RESTART_SOC, PowerFlows, PowerPath
 from repro.datacenter.server import IDLE_DYNAMIC_FRACTION, ServerPowerState
 from repro.errors import ConfigurationError
 from repro.obs import BUS, REGISTRY
-from repro.obs.events import BatterySampleEvent, BrownoutEvent
+from repro.obs.events import BrownoutEvent
+from repro.obs.telemetry import TELEMETRY
 from repro.units import SECONDS_PER_HOUR
 
 #: Canonical mechanism order; row indices of ``FleetState.damage``.
@@ -1161,11 +1162,7 @@ class FleetPowerPath(PowerPath):
         if len(ci):
             fs.tr_charged_ah[ci] += -current[ci] * dt / SECONDS_PER_HOUR
         if BUS.enabled:
-            for name, s, c in zip(
-                fs.node_names, soc.tolist(), current.tolist()
-            ):
-                BUS.emit(
-                    BatterySampleEvent(
-                        t=BUS.now, node=name, soc=s, current_a=c, dt=dt
-                    )
-                )
+            # One call per step; the active TelemetryPolicy decides
+            # whether this becomes a columnar frame, per-node samples
+            # (byte-identical with the reference stepper), or a summary.
+            TELEMETRY.record_fleet_step(BUS.now, dt, fs)

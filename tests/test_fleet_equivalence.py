@@ -166,6 +166,97 @@ class TestActionRichFleetEquivalence:
         assert ref_sim.policy.monitor.throttles == fleet_sim.policy.monitor.throttles
 
 
+class TestTracedEquivalence:
+    """The golden contract extends to telemetry: tracing either stepper
+    yields the same event stream, in per-node events and in columnar
+    frames, and a frame-mode trace replays to the engine's metrics.
+    """
+
+    DAYS = [DayClass.CLOUDY, DayClass.SUNNY]
+
+    def _traced_events(self, scenario, telemetry):
+        from repro.obs import BUS, TELEMETRY, TelemetryPolicy, parse_telemetry
+
+        BUS.clear_sinks()
+        TELEMETRY.set_policy(parse_telemetry(telemetry))
+        try:
+            with BUS.capture(maxlen=None) as sink:
+                _run(scenario, "baat", self.DAYS)
+                return [e.to_dict() for e in sink.events]
+        finally:
+            BUS.clear_sinks()
+            TELEMETRY.set_policy(TelemetryPolicy())
+
+    def _both_streams(self, telemetry):
+        scenario = Scenario(n_nodes=6, dt_s=300.0)
+        ref = self._traced_events(scenario, telemetry)
+        fleet = self._traced_events(
+            dataclasses.replace(scenario, stepper="fleet"), telemetry
+        )
+        return ref, fleet
+
+    @staticmethod
+    def _split_meta(events):
+        meta = [e for e in events if e["kind"] == "trace_meta"]
+        rest = [e for e in events if e["kind"] != "trace_meta"]
+        return meta, rest
+
+    def test_event_mode_streams_identical(self):
+        ref, fleet = self._both_streams("full-events")
+        ref_meta, ref_rest = self._split_meta(ref)
+        fleet_meta, fleet_rest = self._split_meta(fleet)
+        # trace_meta records which stepper ran — the only sanctioned
+        # difference between the two traces.
+        assert [m["stepper"] for m in ref_meta] == ["reference"]
+        assert [m["stepper"] for m in fleet_meta] == ["fleet"]
+        assert fleet_rest == ref_rest
+        samples = [e for e in ref_rest if e["kind"] == "battery_sample"]
+        steps = len(self.DAYS) * int(86400 / 300)
+        assert len(samples) == 6 * steps
+
+    def test_frame_mode_streams_identical(self):
+        ref, fleet = self._both_streams("full")
+        _, ref_rest = self._split_meta(ref)
+        _, fleet_rest = self._split_meta(fleet)
+        assert fleet_rest == ref_rest
+        frames = [e for e in ref_rest if e["kind"] == "battery_frame"]
+        assert len(frames) == len(self.DAYS) * int(86400 / 300)
+        assert not any(e["kind"] == "battery_sample" for e in ref_rest)
+
+    def test_frame_trace_replays_to_engine_metrics(self, tmp_path):
+        import math
+
+        from repro.obs import (
+            FleetHealthModel,
+            disable_observability,
+            enable_observability,
+        )
+        from repro.obs.health import METRIC_NAMES
+
+        scenario = Scenario(n_nodes=6, dt_s=300.0, stepper="fleet")
+        path = str(tmp_path / "frames.jsonl")
+        enable_observability(path, telemetry="full")
+        try:
+            sim, _ = _run(scenario, "baat", self.DAYS)
+        finally:
+            disable_observability()
+        model = FleetHealthModel.from_trace(path)
+        assert len(model.runs) == 1
+        run = model.runs[0]
+        assert run.telemetry == "full"
+        assert run.stepper == "fleet"
+        for node in sim.cluster:
+            engine_side = node.tracker.lifetime()
+            replay_side = run.batteries[node.name].metrics()
+            for name in METRIC_NAMES + ("dr_peak",):
+                a = getattr(engine_side, name)
+                b = getattr(replay_side, name)
+                if math.isinf(a) or math.isinf(b):
+                    assert a == b, name
+                else:
+                    assert b == pytest.approx(a, rel=1e-6, abs=1e-9), name
+
+
 class TestStepperSelection:
     def test_unknown_stepper_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -388,8 +388,9 @@ class TestInstrumentedRun:
         assert "vm_placed" in kinds
         placed = [e for e in sink.events if e.kind == "vm_placed"]
         assert all(e.node and e.vm for e in placed)
-        # The run_start event precedes everything else.
-        assert sink.events[0].kind == "run_start"
+        # The trace_meta header leads, then run_start, then everything.
+        assert sink.events[0].kind == "trace_meta"
+        assert sink.events[1].kind == "run_start"
 
     def test_enable_observability_writes_jsonl(
         self, tiny_scenario, one_sunny_day, tmp_path
@@ -402,7 +403,8 @@ class TestInstrumentedRun:
             disable_observability()
         assert sink is not None and sink.n_written > 0
         events = read_events(path)
-        assert events and events[0].kind == "run_start"
+        assert events and events[0].kind == "trace_meta"
+        assert events[1].kind == "run_start"
         # Registry picked up recorder + phase metrics during the run.
         snap_keys = REGISTRY.snapshot()["histograms"].keys()
         assert {f"phase/{p}" for p in STEP_PHASES} <= set(snap_keys)

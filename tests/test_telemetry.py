@@ -1,0 +1,358 @@
+"""Tests for the battery telemetry tiers (`repro.obs.telemetry`).
+
+Covers the policy spec grammar, the columnar frame codec (quantization,
+delta chains, roster handling), the sampled/summary tiers' emission
+behavior on live runs, trace validation of the new `trace_meta` and
+`battery_frame` kinds, and the bus/sink instrumentation counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.policies.factory import make_policy
+from repro.errors import ConfigurationError
+from repro.obs import (
+    BUS,
+    REGISTRY,
+    TELEMETRY,
+    FrameDecoder,
+    FrameEncoder,
+    JsonlSink,
+    TelemetryPolicy,
+    disable_observability,
+    expand_frame,
+    parse_telemetry,
+    validate_trace,
+)
+from repro.obs.events import RunStartEvent
+from repro.obs.telemetry import CUR_SCALE, SCHEMA_VERSION, SOC_SCALE
+from repro.sim.engine import Simulation
+from repro.sim.scenario import Scenario
+from repro.solar.weather import DayClass
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    BUS.clear_sinks()
+    REGISTRY.enabled = False
+    REGISTRY.reset()
+    TELEMETRY.set_policy(TelemetryPolicy())
+    yield
+    disable_observability()
+    BUS.clear_sinks()
+    REGISTRY.enabled = False
+    REGISTRY.reset()
+
+
+STEPS_PER_DAY = int(86400 / 300)
+
+
+def _traced_day(telemetry, n_nodes=4, stepper="fleet", day=DayClass.CLOUDY):
+    """One traced day on a small cluster; returns the captured events."""
+    TELEMETRY.set_policy(parse_telemetry(telemetry))
+    scenario = Scenario(n_nodes=n_nodes, dt_s=300.0, stepper=stepper)
+    trace = scenario.trace_generator().day(day)
+    with BUS.capture(maxlen=None) as sink:
+        sim = Simulation(scenario, make_policy("baat"), trace)
+        sim.run()
+        return sim, list(sink.events)
+
+
+# ----------------------------------------------------------------------
+# Policy spec grammar
+# ----------------------------------------------------------------------
+class TestParseTelemetry:
+    @pytest.mark.parametrize(
+        "spec, tier, frames, every, nodes, top_k",
+        [
+            ("full", "full", True, 1, None, 5),
+            ("full-events", "full", False, 1, None, 5),
+            ("events", "full", False, 1, None, 5),
+            ("sampled:15", "sampled", True, 15, None, 5),
+            ("sampled-events:3", "sampled", False, 3, None, 5),
+            ("sampled:6:n1,n2", "sampled", True, 6, ("n1", "n2"), 5),
+            ("summary", "summary", False, 1, None, 5),
+            ("summary:12", "summary", False, 1, None, 12),
+        ],
+    )
+    def test_good_specs(self, spec, tier, frames, every, nodes, top_k):
+        policy = parse_telemetry(spec)
+        assert policy.tier == tier
+        assert policy.frames == frames
+        assert policy.every == every
+        assert policy.nodes == nodes
+        assert policy.top_k == top_k
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "warp",
+            "full:3",
+            "events:2",
+            "sampled",
+            "sampled:zero",
+            "sampled:0",
+            "sampled:-2",
+            "sampled:3: , ",
+            "summary:none",
+            "summary:0",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_telemetry(spec)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["full", "full-events", "sampled:15", "sampled-events:3:n1,n2", "summary:7"],
+    )
+    def test_spec_round_trips(self, spec):
+        assert parse_telemetry(spec).spec() == spec
+
+    def test_default_policy_is_lossless_events(self):
+        assert TelemetryPolicy().spec() == "full-events"
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+class TestFrameCodec:
+    def test_round_trip_within_quantum(self):
+        names = ["a", "b", "c"]
+        encoder = FrameEncoder(names)
+        decoder = FrameDecoder()
+        rows = [
+            ([0.913, 0.5, 0.99999653], [1.25, -0.75, 0.0]),
+            ([0.912, 0.501, 0.99999653], [1.3, -0.8, 2.5]),
+            ([0.910, 0.502, 0.91], [0.0, 0.0, -3.75]),
+        ]
+        for step, (soc, cur) in enumerate(rows):
+            frame = encoder.encode(300.0 * step, 300.0, soc, cur)
+            assert frame.seq == step
+            assert frame.nodes == (",".join(names) if step == 0 else "")
+            decoded = decoder.decode(frame)
+            assert [d[0] for d in decoded] == names
+            for (_, got_soc, got_cur), want_soc, want_cur in zip(decoded, soc, cur):
+                assert got_soc == pytest.approx(want_soc, abs=0.5 / SOC_SCALE)
+                assert got_cur == pytest.approx(want_cur, abs=0.5 / CUR_SCALE)
+
+    def test_quantized_values_round_trip_exactly(self):
+        encoder = FrameEncoder(["a"])
+        decoder = FrameDecoder()
+        soc = 12345678 / SOC_SCALE  # representable exactly at the quantum
+        cur = -4250000 / CUR_SCALE
+        (_, got_soc, got_cur), = decoder.decode(
+            encoder.encode(0.0, 300.0, [soc], [cur])
+        )
+        assert got_soc == soc
+        assert got_cur == cur
+
+    def test_roster_omitted_from_wire_after_first_frame(self):
+        encoder = FrameEncoder(["a", "b"])
+        first = encoder.encode(0.0, 300.0, [0.9, 0.8], [1.0, 2.0])
+        second = encoder.encode(300.0, 300.0, [0.9, 0.8], [1.0, 2.0])
+        assert "nodes" in first.to_dict()
+        assert "nodes" not in second.to_dict()  # OMIT_EMPTY_FIELDS
+        # Steady state deltas are all zero -> tiny wire form.
+        assert second.to_dict()["soc"] == "0,0"
+
+    def test_decode_before_roster_rejected(self):
+        encoder = FrameEncoder(["a"])
+        encoder.encode(0.0, 300.0, [0.9], [1.0])
+        orphan = encoder.encode(300.0, 300.0, [0.9], [1.0])
+        with pytest.raises(ConfigurationError):
+            FrameDecoder().decode(orphan)
+
+    def test_column_mismatch_rejected(self):
+        encoder = FrameEncoder(["a", "b"])
+        frame = encoder.encode(0.0, 300.0, [0.9, 0.8], [1.0, 2.0])
+        bad = FrameEncoder(["a", "b", "c"]).encode(
+            0.0, 300.0, [0.9, 0.8, 0.7], [1.0, 2.0, 3.0]
+        )
+        decoder = FrameDecoder()
+        decoder.decode(frame)
+        object.__setattr__(bad, "nodes", "")  # mid-run frame, wrong width
+        with pytest.raises(ConfigurationError):
+            decoder.decode(bad)
+
+    def test_expand_frame_builds_sample_events(self):
+        encoder = FrameEncoder(["a", "b"])
+        decoder = FrameDecoder()
+        frame = encoder.encode(600.0, 300.0, [0.9, 0.8], [1.5, -0.5])
+        samples = expand_frame(decoder, frame)
+        assert [s.kind for s in samples] == ["battery_sample"] * 2
+        assert [(s.t, s.node, s.dt) for s in samples] == [
+            (600.0, "a", 300.0),
+            (600.0, "b", 300.0),
+        ]
+        assert samples[0].current_a == pytest.approx(1.5, abs=0.5 / CUR_SCALE)
+
+
+# ----------------------------------------------------------------------
+# Tier emission behavior on live runs
+# ----------------------------------------------------------------------
+class TestTierEmission:
+    @pytest.mark.parametrize("stepper", ["reference", "fleet"])
+    def test_full_frames_one_per_step(self, stepper):
+        _, events = _traced_day("full", stepper=stepper)
+        frames = [e for e in events if e.kind == "battery_frame"]
+        assert len(frames) == STEPS_PER_DAY
+        assert not any(e.kind == "battery_sample" for e in events)
+        assert frames[0].nodes and frames[0].seq == 0
+        assert [f.seq for f in frames] == list(range(STEPS_PER_DAY))
+
+    @pytest.mark.parametrize("stepper", ["reference", "fleet"])
+    def test_sampled_events_period_and_dt(self, stepper):
+        every = 4
+        _, events = _traced_day(f"sampled-events:{every}", stepper=stepper)
+        samples = [e for e in events if e.kind == "battery_sample"]
+        assert len(samples) == 4 * (STEPS_PER_DAY // every)
+        # dt is stretched to the sampling window so integrals survive.
+        assert all(s.dt == 300.0 * every for s in samples)
+
+    def test_sampled_node_subset(self):
+        _, events = _traced_day("sampled-events:2:node0,node2")
+        samples = [e for e in events if e.kind == "battery_sample"]
+        assert {s.node for s in samples} == {"node0", "node2"}
+
+    @pytest.mark.parametrize("stepper", ["reference", "fleet"])
+    def test_summary_one_event_per_step(self, stepper):
+        sim, events = _traced_day("summary:3", stepper=stepper)
+        summaries = [e for e in events if e.kind == "fleet_summary"]
+        assert len(summaries) == STEPS_PER_DAY
+        assert not any(
+            e.kind in ("battery_sample", "battery_frame") for e in events
+        )
+        names = {n.name for n in sim.cluster}
+        for s in summaries:
+            assert s.n == 4
+            assert 0.0 <= s.soc_min <= s.soc_p10 <= s.soc_mean <= s.soc_max <= 1.0
+            top = [pair.split(":")[0] for pair in s.top.split(",") if pair]
+            assert len(top) <= 3
+            assert set(top) <= names
+
+    def test_trace_meta_header_reflects_policy(self):
+        _, events = _traced_day("sampled:6")
+        meta = events[0]
+        assert meta.kind == "trace_meta"
+        assert meta.schema == SCHEMA_VERSION
+        assert meta.telemetry == "sampled:6"
+        assert meta.stepper == "fleet"
+        assert meta.n_nodes == 4
+        assert events[1].kind == "run_start"
+
+    def test_frame_trace_smaller_than_event_trace(self):
+        # The CI bench gates >= 10x at 1024 nodes; at 4 nodes the roster
+        # amortizes far less, so just require a clear win.
+        _, frame_events = _traced_day("full")
+        _, sample_events = _traced_day("full-events")
+        frame_bytes = sum(
+            len(e.to_json()) for e in frame_events if e.kind == "battery_frame"
+        )
+        sample_bytes = sum(
+            len(e.to_json()) for e in sample_events if e.kind == "battery_sample"
+        )
+        assert sample_bytes > 3 * frame_bytes
+
+
+# ----------------------------------------------------------------------
+# Trace validation of the new kinds
+# ----------------------------------------------------------------------
+class TestFrameValidation:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        return str(path)
+
+    META = {
+        "kind": "trace_meta", "t": 0.0, "schema": SCHEMA_VERSION,
+        "telemetry": "full", "stepper": "fleet", "n_nodes": 2,
+    }
+    RUN = {"kind": "run_start", "t": 0.0, "policy": "baat"}
+    FRAME0 = {
+        "kind": "battery_frame", "t": 300.0, "dt": 300.0, "n": 2,
+        "seq": 0, "nodes": "a,b", "soc": "90000000,80000000",
+        "cur": "1000000,-500000",
+    }
+    FRAME1 = {
+        "kind": "battery_frame", "t": 600.0, "dt": 300.0, "n": 2,
+        "seq": 1, "soc": "-1,2", "cur": "0,0",
+    }
+
+    def test_valid_frame_chain_passes(self, tmp_path):
+        path = self._write(
+            tmp_path, [self.META, self.RUN, self.FRAME0, self.FRAME1]
+        )
+        result = validate_trace(path)
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.n_runs == 1
+
+    def test_schema_mismatch_is_a_violation(self, tmp_path):
+        meta = dict(self.META, schema=SCHEMA_VERSION + 1)
+        path = self._write(tmp_path, [meta, self.RUN])
+        result = validate_trace(path)
+        assert any("schema" in v.message for v in result.violations)
+
+    def test_frame_before_roster_is_a_violation(self, tmp_path):
+        path = self._write(tmp_path, [self.META, self.RUN, self.FRAME1])
+        result = validate_trace(path)
+        assert any("roster" in v.message for v in result.violations)
+
+    def test_seq_gap_is_a_violation(self, tmp_path):
+        skipped = dict(self.FRAME1, seq=3, t=1200.0)
+        path = self._write(tmp_path, [self.META, self.RUN, self.FRAME0, skipped])
+        result = validate_trace(path)
+        assert any("delta chain" in v.message for v in result.violations)
+
+    def test_column_width_mismatch_is_a_violation(self, tmp_path):
+        bad = dict(self.FRAME1, soc="-1,2,3")
+        path = self._write(tmp_path, [self.META, self.RUN, self.FRAME0, bad])
+        result = validate_trace(path)
+        assert any("column" in v.message for v in result.violations)
+
+    def test_run_start_resets_frame_state(self, tmp_path):
+        # A second run must re-carry the roster; chains do not span runs.
+        path = self._write(
+            tmp_path,
+            [self.META, self.RUN, self.FRAME0, self.FRAME1,
+             self.RUN, self.FRAME1],
+        )
+        result = validate_trace(path)
+        assert any("roster" in v.message for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# Bus and sink instrumentation
+# ----------------------------------------------------------------------
+class TestBusInstrumentation:
+    def test_per_kind_counters(self):
+        REGISTRY.enabled = True
+        with BUS.capture():
+            BUS.emit(RunStartEvent(t=0.0, policy="baat"))
+            BUS.emit(RunStartEvent(t=0.0, policy="e-buff"))
+        assert REGISTRY.counter("obs/events_total").value == 2
+        assert REGISTRY.counter("obs/events/run_start").value == 2
+
+    def test_sink_bytes_and_rotation_counters(self, tmp_path):
+        REGISTRY.enabled = True
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path, rotate_events=2)
+        BUS.add_sink(sink)
+        try:
+            for i in range(5):
+                BUS.emit(RunStartEvent(t=0.0, policy=f"p{i}"))
+        finally:
+            BUS.remove_sink(sink)
+            sink.close()
+        on_disk = sum(
+            os.path.getsize(os.path.join(tmp_path, f))
+            for f in os.listdir(tmp_path)
+        )
+        assert sink.bytes_written == on_disk > 0
+        assert sink.segments_rotated == 2
+        assert REGISTRY.counter("obs/sink_bytes").value == on_disk
+        assert REGISTRY.counter("obs/segments_rotated").value == 2
