@@ -29,20 +29,33 @@ import os
 import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.cache import ResultCache, default_cache
 from repro.campaign.spec import RunSpec
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs import ALERTS, BUS, REGISTRY
+from repro.obs.capture import (
+    CaptureConfig,
+    CellCapture,
+    replay_capture,
+    run_captured,
+    sanitize_forked_worker,
+    summarize_health,
+)
 from repro.obs.events import (
+    CampaignFinishEvent,
+    CampaignStartEvent,
     CellCacheHitEvent,
     CellFinishEvent,
+    CellHealthEvent,
     CellRetryEvent,
     CellStartEvent,
 )
+from repro.obs.health import FleetHealthModel
 from repro.obs.spans import SPANS, in_span
+from repro.obs.telemetry import TELEMETRY
 from repro.sim.results import SimResult
 
 _ENV_WORKERS = "REPRO_CAMPAIGN_WORKERS"
@@ -195,6 +208,61 @@ def _execute_spec(spec: RunSpec) -> SimResult:
     return spec.execute()
 
 
+def _execute_spec_captured(
+    spec: RunSpec, cfg: CaptureConfig
+) -> Tuple[Optional[SimResult], Optional[str], CellCapture]:
+    """Worker entry point for traced campaigns: run one cell with capture.
+
+    Wraps the cell in :func:`~repro.obs.capture.run_captured`, so the
+    worker-local trace events, metrics snapshot, and health rollup ship
+    back to the parent with the result for fan-in onto the parent bus.
+    Cell exceptions come back as the ``error`` string (with the partial
+    capture) instead of raising, so the parent can replay what the
+    failed attempt did before retrying.
+    """
+    return run_captured(spec.execute, cfg)
+
+
+def _emit_cell_health(
+    label: str, health: Optional[dict], t: float, span_id: int
+) -> None:
+    """Emit a :class:`CellHealthEvent` from a health-summary dict."""
+    if not health or not BUS.enabled:
+        return
+    BUS.emit(CellHealthEvent(t=t, span_id=span_id, label=label, **health))
+
+
+def _finish_cell(
+    spec: RunSpec,
+    result: Optional[SimResult],
+    attempts: int,
+    duration: float,
+    t0: float,
+) -> None:
+    """Completion bookkeeping, at the moment the cell actually finishes.
+
+    Emitting ``cell_finish`` here (not in the assembly phase) is what
+    lets a live monitor see progress while later cells are still
+    running.
+    """
+    if BUS.enabled:
+        BUS.emit(
+            CellFinishEvent(
+                t=time.perf_counter() - t0,
+                label=spec.effective_label,
+                ok=result is not None,
+                attempts=attempts,
+                wall_s=duration,
+            )
+        )
+    if REGISTRY.enabled:
+        REGISTRY.histogram("campaign/cell_wall_s").observe(duration)
+        if result is None:
+            REGISTRY.counter("campaign/failures").inc()
+        else:
+            REGISTRY.counter("campaign/executed").inc()
+
+
 def _error_string(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
@@ -234,6 +302,7 @@ def run_campaign(
     n_workers: Optional[int] = None,
     cache: Union[ResultCache, None, object] = DEFAULT_CACHE,
     retries: int = 1,
+    capture: Optional[CaptureConfig] = None,
 ) -> CampaignReport:
     """Execute a list of run specs with caching and parallel fan-out.
 
@@ -249,6 +318,12 @@ def run_campaign(
         default sentinel to use the process default cache.
     retries:
         How many times to re-run a failed cell (default 1).
+    capture:
+        What traced pooled cells capture and ship back. ``None`` (the
+        default) is full fidelity at the parent's telemetry tier;
+        :meth:`CaptureConfig.monitoring` is the lean live-dashboard
+        tier. A config with an empty ``telemetry`` inherits the
+        parent's tier. Ignored for untraced campaigns.
     """
     specs = list(specs)
     if retries < 0:
@@ -262,7 +337,15 @@ def run_campaign(
     else:
         resolved_cache = cache  # type: ignore[assignment]
 
+    # Captured once: whether this campaign is traced decides the pooled
+    # execution protocol (capture-and-ship vs bare results) for its
+    # whole lifetime, even if sinks change mid-run.
+    traced = BUS.enabled
     t0 = time.perf_counter()
+    if traced:
+        BUS.emit(
+            CampaignStartEvent(t=0.0, n_cells=len(specs), n_workers=workers)
+        )
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     pending: List[Tuple[int, RunSpec, Optional[str]]] = []
 
@@ -286,17 +369,22 @@ def run_campaign(
                     REGISTRY.counter("campaign/cache_hits").inc()
                 continue
         pending.append((i, spec, key))
-    if REGISTRY.enabled and pending:
-        REGISTRY.counter("campaign/cache_misses").inc(len(pending))
-    if ALERTS.enabled and len(specs) >= 4:
-        # A near-zero hit rate across a sizeable campaign usually means a
-        # source fingerprint drifted and the whole cache silently expired.
-        ALERTS.observe(
-            "cache_miss_storm",
-            "campaign",
-            len(pending) / len(specs),
-            time.perf_counter() - t0,
-        )
+    # Miss accounting is only meaningful when a cache is actually in
+    # use: with cache=None every cell is trivially "uncached" and the
+    # storm alert would fire on every uncached campaign.
+    if resolved_cache is not None:
+        if REGISTRY.enabled and pending:
+            REGISTRY.counter("campaign/cache_misses").inc(len(pending))
+        if ALERTS.enabled and len(specs) >= 4:
+            # A near-zero hit rate across a sizeable campaign usually
+            # means a source fingerprint drifted and the whole cache
+            # silently expired.
+            ALERTS.observe(
+                "cache_miss_storm",
+                "campaign",
+                len(pending) / len(specs),
+                time.perf_counter() - t0,
+            )
 
     # Phase 2: execute misses (pool or inline).
     fresh: List[Tuple[int, RunSpec, Optional[str], Optional[SimResult], int, Tuple[str, ...], float]] = []
@@ -305,32 +393,80 @@ def run_campaign(
     inline_jobs = [(i, s, k) for i, s, k in pending if i not in pool_indices]
 
     if pool_jobs:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pool_jobs))) as pool:
+        # Traced campaigns ship a CaptureConfig — by default the
+        # parent's telemetry tier at full fidelity: the worker runs
+        # with full capture and returns (result, error, capture) for
+        # fan-in; untraced campaigns keep the bare-result protocol.
+        cfg: Optional[CaptureConfig] = None
+        if traced:
+            cfg = capture or CaptureConfig()
+            if not cfg.telemetry:
+                cfg = replace(cfg, telemetry=TELEMETRY.policy.spec())
+
+        def _submit(pool, spec):
+            if traced:
+                return pool.submit(_execute_spec_captured, spec, cfg)
+            return pool.submit(_execute_spec, spec)
+
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pool_jobs)),
+            initializer=sanitize_forked_worker,
+        ) as pool:
             states = {}
             not_done = set()
             for i, spec, key in pool_jobs:
-                fut = pool.submit(_execute_spec, spec)
-                states[fut] = (i, spec, key, 1, (), time.perf_counter())
+                span_id = 0
+                if traced:
+                    # The cell span opens at submission and closes at
+                    # final completion, bracketing every attempt; the
+                    # replayed worker events re-anchor under it.
+                    span_id = SPANS.start(
+                        "campaign_cell",
+                        node=spec.effective_label,
+                        t=time.perf_counter() - t0,
+                        scope="campaign",
+                    )
+                fut = _submit(pool, spec)
+                states[fut] = (i, spec, key, 1, (), time.perf_counter(), span_id)
                 not_done.add(fut)
                 if BUS.enabled:
                     BUS.emit(
                         CellStartEvent(
                             t=time.perf_counter() - t0,
                             label=spec.effective_label,
+                            span_id=span_id,
                         )
                     )
             while not_done:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    i, spec, key, attempt, errors, started = states.pop(fut)
+                    (
+                        i, spec, key, attempt, errors, started, span_id,
+                    ) = states.pop(fut)
+                    result: Optional[SimResult] = None
+                    error: Optional[str] = None
+                    capture: Optional[CellCapture] = None
                     try:
-                        result = fut.result()
+                        if traced:
+                            result, error, capture = fut.result()
+                        else:
+                            result = fut.result()
                     except Exception as exc:  # noqa: BLE001 - retried below
-                        errors = errors + (_error_string(exc),)
+                        error = _error_string(exc)
+                    if capture is not None:
+                        # Fan-in: re-emit the worker's events (partial
+                        # captures from failed attempts included) inside
+                        # the cell span, and fold its metrics.
+                        replay_capture(capture, cell_span_id=span_id)
+                        if REGISTRY.enabled:
+                            REGISTRY.merge_snapshot(capture.metrics)
+                    if error is not None:
+                        errors = errors + (error,)
                         if attempt <= retries:
-                            retry = pool.submit(_execute_spec, spec)
+                            retry = _submit(pool, spec)
                             states[retry] = (
                                 i, spec, key, attempt + 1, errors, started,
+                                span_id,
                             )
                             not_done.add(retry)
                             if BUS.enabled:
@@ -340,15 +476,28 @@ def run_campaign(
                                         label=spec.effective_label,
                                         attempt=attempt,
                                         error=errors[-1],
+                                        span_id=span_id,
                                     )
                                 )
                             continue
                         result = None
-                    fresh.append(
-                        (
-                            i, spec, key, result, attempt, errors,
-                            time.perf_counter() - started,
+                    if traced:
+                        if capture is not None and error is None:
+                            _emit_cell_health(
+                                spec.effective_label,
+                                capture.health,
+                                time.perf_counter() - t0,
+                                span_id,
+                            )
+                        SPANS.end(
+                            "campaign_cell",
+                            node=spec.effective_label,
+                            t=time.perf_counter() - t0,
                         )
+                    duration = time.perf_counter() - started
+                    _finish_cell(spec, result, attempt, duration, t0)
+                    fresh.append(
+                        (i, spec, key, result, attempt, errors, duration)
                     )
 
     for i, spec, key in inline_jobs:
@@ -365,20 +514,39 @@ def run_campaign(
         if BUS.enabled:
             BUS.emit(
                 CellStartEvent(
-                    t=time.perf_counter() - t0, label=spec.effective_label
+                    t=time.perf_counter() - t0,
+                    label=spec.effective_label,
+                    span_id=span_id,
                 )
             )
+        # A per-cell health model folds this cell's own events into the
+        # same rollup shape pooled cells ship back, so CellHealthEvents
+        # appear uniformly regardless of where the cell ran.
+        model = FleetHealthModel() if traced else None
+        if model is not None:
+            BUS.add_sink(model)
         started = time.perf_counter()
-        with in_span(span_id):
-            result, attempts, errors = _run_inline(spec, retries, t0=t0)
+        try:
+            with in_span(span_id):
+                result, attempts, errors = _run_inline(spec, retries, t0=t0)
+        finally:
+            if model is not None:
+                BUS.remove_sink(model)
+        if model is not None and result is not None:
+            _emit_cell_health(
+                spec.effective_label,
+                summarize_health(model),
+                time.perf_counter() - t0,
+                span_id,
+            )
         SPANS.end(
             "campaign_cell",
             node=spec.effective_label,
             t=time.perf_counter() - t0,
         )
-        fresh.append(
-            (i, spec, key, result, attempts, errors, time.perf_counter() - started)
-        )
+        duration = time.perf_counter() - started
+        _finish_cell(spec, result, attempts, duration, t0)
+        fresh.append((i, spec, key, result, attempts, errors, duration))
 
     # Phase 3: memoize and assemble.
     for i, spec, key, result, attempts, errors, duration in fresh:
@@ -397,26 +565,23 @@ def run_campaign(
             errors=errors,
             duration_s=duration,
         )
-        if BUS.enabled:
-            BUS.emit(
-                CellFinishEvent(
-                    t=time.perf_counter() - t0,
-                    label=spec.effective_label,
-                    ok=result is not None,
-                    attempts=attempts,
-                    wall_s=duration,
-                )
-            )
-        if REGISTRY.enabled:
-            REGISTRY.histogram("campaign/cell_wall_s").observe(duration)
-            if result is None:
-                REGISTRY.counter("campaign/failures").inc()
-            else:
-                REGISTRY.counter("campaign/executed").inc()
 
-    return CampaignReport(
+    report = CampaignReport(
         outcomes=tuple(o for o in outcomes if o is not None),
         n_workers=workers,
         wall_s=time.perf_counter() - t0,
         cache_dir=str(resolved_cache.path) if resolved_cache is not None else None,
     )
+    if BUS.enabled:
+        BUS.emit(
+            CampaignFinishEvent(
+                t=time.perf_counter() - t0,
+                n_cells=len(report.outcomes),
+                ok=report.n_executed,
+                failed=len(report.failures),
+                cached=report.n_cache_hits,
+                executed=report.n_executed + len(report.failures),
+                wall_s=report.wall_s,
+            )
+        )
+    return report

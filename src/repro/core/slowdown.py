@@ -231,6 +231,16 @@ class SlowdownMonitor:
         alerting = ALERTS.enabled
         if not below and not alerting:
             return False
+        if not below and not (
+            ALERTS.is_active("ddt_window_breach", node.name)
+            or ALERTS.is_active("dr_reserve_exhaustion", node.name)
+        ):
+            # Healthy node, no episode in flight: the DDT/DR watchdogs
+            # only act below the low-SoC line (section III-E) and DDT
+            # cannot accrue above it, so computing the window metrics
+            # here would feed alerts that can neither fire nor clear —
+            # skip the (comparatively expensive) window/reserve read.
+            return False
         ddt = self.controller.window_metrics(node).ddt
         reserve = reserve_seconds(battery, current_draw_w)
         ddt_alert = dr_alert = None

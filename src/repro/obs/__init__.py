@@ -53,6 +53,20 @@ from repro.obs.alerts import (
     severity_rank,
 )
 from repro.obs.bus import BUS, TraceBus
+from repro.obs.campaign_monitor import (
+    CampaignMonitor,
+    render_dashboard,
+    write_summary,
+)
+from repro.obs.capture import (
+    DEFAULT_CAPTURE_MAXLEN,
+    CaptureConfig,
+    CaptureSink,
+    CellCapture,
+    replay_capture,
+    run_captured,
+    summarize_health,
+)
 from repro.obs.events import (
     EVENT_TYPES,
     AlertEvent,
@@ -60,8 +74,11 @@ from repro.obs.events import (
     BatteryFrameEvent,
     BatterySampleEvent,
     BrownoutEvent,
+    CampaignFinishEvent,
+    CampaignStartEvent,
     CellCacheHitEvent,
     CellFinishEvent,
+    CellHealthEvent,
     CellRetryEvent,
     CellStartEvent,
     ConsolidationEvent,
@@ -79,6 +96,7 @@ from repro.obs.events import (
     SpanStartEvent,
     TraceEvent,
     TraceMetaEvent,
+    TraceTailer,
     VMMigratedEvent,
     VMPlacedEvent,
     WakeEvent,
@@ -95,7 +113,15 @@ from repro.obs.export import (
     write_export,
 )
 from repro.obs.health import FleetHealthModel, FleetHealthReport
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry, REGISTRY
+from repro.obs.metrics import (
+    DEFAULT_SAMPLE_LIMIT,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    P2Quantile,
+)
 from repro.obs.provenance import (
     ProvenanceIndex,
     TraceValidation,
@@ -207,8 +233,24 @@ __all__ = [
     "CellCacheHitEvent",
     "CellRetryEvent",
     "CellFinishEvent",
+    "CellHealthEvent",
+    "CampaignStartEvent",
+    "CampaignFinishEvent",
     "SpanStartEvent",
     "SpanEndEvent",
+    "TraceTailer",
+    "CampaignMonitor",
+    "render_dashboard",
+    "write_summary",
+    "CaptureConfig",
+    "CaptureSink",
+    "CellCapture",
+    "DEFAULT_CAPTURE_MAXLEN",
+    "DEFAULT_SAMPLE_LIMIT",
+    "P2Quantile",
+    "run_captured",
+    "replay_capture",
+    "summarize_health",
 ]
 
 _active_jsonl: Optional[JsonlSink] = None

@@ -306,6 +306,15 @@ class AlertEngine:
             key=lambda a: (-severity_rank(a.rule.severity), a.rule.name, a.key),
         )
 
+    def is_active(self, rule_name: str, key: str) -> bool:
+        """Is a (rule, key) episode currently in breach?
+
+        O(1); hot-path callers use it to skip computing expensive
+        watched values when the value is known-healthy and no episode
+        needs to observe its hysteresis release.
+        """
+        return (rule_name, key) in self._active
+
     def active_cause(self, rule_name: str, key: str) -> int:
         """Event id anchoring an active (rule, key) breach, or 0.
 

@@ -1,0 +1,381 @@
+"""Campaign-level rollups: live progress, throughput, ETA, fleet health.
+
+:class:`CampaignMonitor` is an :class:`~repro.obs.sinks.EventSink` that
+folds the campaign-shaped slice of the event stream — ``campaign_start``,
+``cell_*``, ``cell_health``, ``alert``, ``campaign_finish`` — into one
+operator view of a many-cell sweep:
+
+- **Progress**: cells done (cached / ok / failed), retries, in-flight.
+- **Throughput and ETA**: executed cells per second on the campaign
+  wall clock, remaining-cell estimate from the live rate.
+- **Wall-time distribution**: p50/p95/p99 cell wall seconds via the
+  registry's streaming (P²) histogram — no per-cell storage.
+- **Aging rollup**: per-cell :class:`~repro.obs.events.CellHealthEvent`
+  payloads merged into fleet-of-fleets aggregates (worst cell, max
+  NAT/DDT/DR across every battery of every cell).
+- **Alerts**: currently-active (fired, not cleared) alerts by rule/key.
+
+It works identically attached live to the bus (``repro campaign
+--watch``) or fed from a trace being tailed on disk (``repro top``),
+because both paths deliver the same typed events. :meth:`summary`
+returns the machine-readable rollup written to ``campaign_summary.json``
+and :meth:`registry` bridges it to the OpenMetrics exporter;
+:func:`render_dashboard` turns a summary into the ANSI dashboard text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import Histogram, MetricRegistry
+from repro.obs.sinks import EventSink
+
+
+class CampaignMonitor(EventSink):
+    """Streaming aggregator for one campaign's event stream."""
+
+    def __init__(self) -> None:
+        # Progress -----------------------------------------------------
+        self.started = False
+        self.finished = False
+        self.n_cells = 0
+        self.n_workers = 0
+        self.starts = 0
+        self.cached = 0
+        self.ok = 0
+        self.failed = 0
+        self.retries = 0
+        self.t_last = 0.0  # campaign wall clock, latest campaign event
+        self.wall_s = 0.0  # authoritative once campaign_finish arrives
+        self.wall = Histogram("campaign/cell_wall_s")
+        # Health rollup ------------------------------------------------
+        self.health_cells = 0
+        self.health_batteries = 0
+        self.health_samples = 0
+        self._score_sum = 0.0
+        self.score_max = 0.0
+        self.worst_cell = ""
+        self.worst_node = ""
+        self.nat_max = 0.0
+        self.ddt_max = 0.0
+        self.dr_max = 0.0
+        self.health_alerts = 0
+        # Alerts -------------------------------------------------------
+        self.alerts_fired = 0
+        self.alerts_cleared = 0
+        self._active: Dict[Tuple[str, str], TraceEvent] = {}
+        self.n_events = 0
+
+    # ------------------------------------------------------------------
+    # EventSink contract
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:  # noqa: C901 - dispatcher
+        self.n_events += 1
+        kind = event.kind
+        if kind == "campaign_start":
+            self.started = True
+            self.n_cells = event.n_cells
+            self.n_workers = event.n_workers
+            self._clock(event.t)
+        elif kind == "cell_cache_hit":
+            self.cached += 1
+            self._clock(event.t)
+        elif kind == "cell_start":
+            self.starts += 1
+            self._clock(event.t)
+        elif kind == "cell_retry":
+            self.retries += 1
+            self._clock(event.t)
+        elif kind == "cell_finish":
+            if event.ok:
+                self.ok += 1
+            else:
+                self.failed += 1
+            self.wall.observe(event.wall_s)
+            self._clock(event.t)
+        elif kind == "cell_health":
+            self._fold_health(event)
+            self._clock(event.t)
+        elif kind == "campaign_finish":
+            self.finished = True
+            self.wall_s = event.wall_s
+            if event.n_cells:
+                self.n_cells = event.n_cells
+            self._clock(event.t)
+        elif kind == "alert":
+            self._fold_alert(event)
+
+    def _clock(self, t: float) -> None:
+        # Only campaign-clock events advance the campaign clock; the
+        # re-emitted worker events carry simulation timestamps.
+        if t > self.t_last:
+            self.t_last = t
+
+    def _fold_health(self, event: TraceEvent) -> None:
+        self.health_cells += 1
+        self.health_batteries += event.n_batteries
+        self.health_samples += event.n_samples
+        self._score_sum += event.score_mean * max(1, event.n_batteries)
+        if event.score_max > self.score_max:
+            self.score_max = event.score_max
+            self.worst_cell = event.label
+            self.worst_node = event.worst
+        self.nat_max = max(self.nat_max, event.nat_max)
+        self.ddt_max = max(self.ddt_max, event.ddt_max)
+        self.dr_max = max(self.dr_max, event.dr_max)
+        self.health_alerts += event.alerts
+
+    def _fold_alert(self, event: TraceEvent) -> None:
+        key = (event.rule, event.node)
+        if event.cleared:
+            self.alerts_cleared += 1
+            self._active.pop(key, None)
+        else:
+            self.alerts_fired += 1
+            self._active[key] = event
+
+    # ------------------------------------------------------------------
+    # Derived rollups
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> int:
+        """Cells resolved one way or another (cached + ok + failed)."""
+        return self.cached + self.ok + self.failed
+
+    @property
+    def executed(self) -> int:
+        return self.ok + self.failed
+
+    @property
+    def in_flight(self) -> int:
+        return max(0, self.starts - self.executed)
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.n_cells - self.done)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.n_cells if self.n_cells else 0.0
+
+    @property
+    def cells_per_s(self) -> float:
+        """Executed-cell throughput on the campaign wall clock."""
+        if self.executed and self.t_last > 0:
+            return self.executed / self.t_last
+        return 0.0
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Remaining-cell estimate from the live rate; None when unknown."""
+        if self.finished or not self.remaining:
+            return 0.0 if self.started else None
+        rate = self.cells_per_s
+        if rate <= 0:
+            return None
+        return self.remaining / rate
+
+    def active_alerts(self) -> List[TraceEvent]:
+        """Currently-firing alerts, worst-severity first."""
+        order = {"critical": 0, "warning": 1, "info": 2}
+        return sorted(
+            self._active.values(),
+            key=lambda e: (order.get(e.severity, 3), e.rule, e.node),
+        )
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """The machine-readable rollup (``campaign_summary.json``)."""
+        score_mean = (
+            self._score_sum / self.health_batteries
+            if self.health_batteries
+            else 0.0
+        )
+        return {
+            "campaign": {
+                "started": self.started,
+                "finished": self.finished,
+                "n_cells": self.n_cells,
+                "n_workers": self.n_workers,
+                "wall_s": self.wall_s if self.finished else self.t_last,
+            },
+            "cells": {
+                "done": self.done,
+                "cached": self.cached,
+                "ok": self.ok,
+                "failed": self.failed,
+                "executed": self.executed,
+                "retries": self.retries,
+                "in_flight": self.in_flight,
+                "remaining": self.remaining,
+            },
+            "cache": {
+                "hits": self.cached,
+                "misses": self.n_cells - self.cached if self.n_cells else 0,
+                "hit_rate": self.hit_rate,
+            },
+            "throughput": {
+                "cells_per_s": self.cells_per_s,
+                "eta_s": self.eta_s,
+            },
+            "wall_time_s": self.wall.to_dict(),
+            "health": {
+                "cells_reported": self.health_cells,
+                "batteries": self.health_batteries,
+                "samples": self.health_samples,
+                "score_mean": score_mean,
+                "score_max": self.score_max,
+                "worst_cell": self.worst_cell,
+                "worst_node": self.worst_node,
+                "nat_max": self.nat_max,
+                "ddt_max": self.ddt_max,
+                "dr_max": self.dr_max,
+                "cell_alerts": self.health_alerts,
+            },
+            "alerts": {
+                "fired": self.alerts_fired,
+                "cleared": self.alerts_cleared,
+                "active": [
+                    {
+                        "rule": e.rule,
+                        "node": e.node,
+                        "severity": e.severity,
+                        "value": e.value,
+                        "threshold": e.threshold,
+                    }
+                    for e in self.active_alerts()
+                ],
+            },
+        }
+
+    def registry(self) -> MetricRegistry:
+        """The rollup as a :class:`MetricRegistry` for OpenMetrics export."""
+        reg = MetricRegistry()
+        summary = self.summary()
+        reg.gauge("campaign/n_cells").set(self.n_cells)
+        reg.gauge("campaign/n_workers").set(self.n_workers)
+        reg.counter("campaign/cells_done").inc(self.done)
+        reg.counter("campaign/cells_cached").inc(self.cached)
+        reg.counter("campaign/cells_ok").inc(self.ok)
+        reg.counter("campaign/cells_failed").inc(self.failed)
+        reg.counter("campaign/cell_retries").inc(self.retries)
+        reg.gauge("campaign/cache_hit_rate").set(self.hit_rate)
+        reg.gauge("campaign/cells_per_s").set(self.cells_per_s)
+        reg.gauge("campaign/wall_s").set(summary["campaign"]["wall_s"])
+        reg.gauge("campaign/health_score_max").set(self.score_max)
+        reg.gauge("campaign/health_nat_max").set(self.nat_max)
+        reg.gauge("campaign/health_ddt_max").set(self.ddt_max)
+        reg.gauge("campaign/alerts_active").set(len(self._active))
+        # Seeding an empty histogram from one snapshot is exact (see
+        # Histogram.merge), so the export carries the true quantiles.
+        reg.histogram("campaign/cell_wall_s").merge(self.wall.to_dict())
+        return reg
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+_BAR_WIDTH = 40
+
+
+def _bar(done: int, total: int, width: int = _BAR_WIDTH) -> str:
+    if total <= 0:
+        return "·" * width
+    filled = int(round(width * min(1.0, done / total)))
+    return "█" * filled + "·" * (width - filled)
+
+
+def _fmt_eta(eta_s: Optional[float]) -> str:
+    if eta_s is None:
+        return "--"
+    if eta_s <= 0:
+        return "0s"
+    if eta_s < 60:
+        return f"{eta_s:.0f}s"
+    if eta_s < 3600:
+        return f"{eta_s / 60:.1f}m"
+    return f"{eta_s / 3600:.1f}h"
+
+
+def render_dashboard(summary: Dict[str, Any], ansi: bool = True) -> str:
+    """Render a :meth:`CampaignMonitor.summary` dict as dashboard text.
+
+    Pure function of the summary (no terminal I/O) so it is equally
+    testable and usable by ``repro top``, ``--watch``, and anything
+    tailing a summary file. With ``ansi`` false the output is plain
+    text (for logs or dumb terminals).
+    """
+    bold = "\x1b[1m" if ansi else ""
+    dim = "\x1b[2m" if ansi else ""
+    red = "\x1b[31m" if ansi else ""
+    green = "\x1b[32m" if ansi else ""
+    yellow = "\x1b[33m" if ansi else ""
+    reset = "\x1b[0m" if ansi else ""
+
+    camp = summary["campaign"]
+    cells = summary["cells"]
+    cache = summary["cache"]
+    thru = summary["throughput"]
+    wall = summary["wall_time_s"]
+    health = summary["health"]
+    alerts = summary["alerts"]
+
+    n = camp["n_cells"]
+    done = cells["done"]
+    state = "done" if camp["finished"] else ("running" if camp["started"] else "waiting")
+    lines = [
+        f"{bold}campaign{reset}  {state}  "
+        f"{camp['n_workers']} worker(s)  wall {camp['wall_s']:.1f}s",
+        f"  [{_bar(done, n)}] {done}/{n} cells"
+        f"  {dim}eta {_fmt_eta(thru['eta_s'])}{reset}",
+        f"  {green}ok {cells['ok']}{reset}  "
+        f"{red}failed {cells['failed']}{reset}  "
+        f"cached {cells['cached']}  retries {cells['retries']}  "
+        f"in-flight {cells['in_flight']}",
+        f"  cache hit rate {cache['hit_rate'] * 100:.0f}%  "
+        f"throughput {thru['cells_per_s']:.2f} cells/s",
+    ]
+    if wall.get("count"):
+        lines.append(
+            f"  cell wall s  p50 {wall['p50']:.2f}  p95 {wall['p95']:.2f}  "
+            f"p99 {wall['p99']:.2f}  max {wall['max']:.2f}"
+        )
+    if health["cells_reported"]:
+        lines.append(
+            f"  health  {health['batteries']} batteries / "
+            f"{health['cells_reported']} cells  "
+            f"score mean {health['score_mean']:.3f} max {health['score_max']:.3f}"
+            f"  worst {health['worst_cell']}:{health['worst_node']}"
+        )
+        lines.append(
+            f"  aging   nat_max {health['nat_max']:.4f}  "
+            f"ddt_max {health['ddt_max']:.4f}  dr_max {health['dr_max']:.3f}"
+        )
+    active = alerts["active"]
+    if active:
+        lines.append(f"  {yellow}alerts ({len(active)} active){reset}")
+        for a in active[:5]:
+            colour = red if a["severity"] == "critical" else yellow
+            lines.append(
+                f"    {colour}{a['severity']:<8}{reset} {a['rule']} "
+                f"[{a['node']}] value {a['value']:.3f} "
+                f"threshold {a['threshold']:.3f}"
+            )
+        if len(active) > 5:
+            lines.append(f"    {dim}... and {len(active) - 5} more{reset}")
+    else:
+        lines.append(f"  {dim}alerts: none active{reset}")
+    return "\n".join(lines)
+
+
+def write_summary(monitor: CampaignMonitor, path: str) -> Dict[str, Any]:
+    """Write ``campaign_summary.json``; returns the summary dict."""
+    summary = monitor.summary()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return summary

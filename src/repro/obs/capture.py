@@ -1,0 +1,325 @@
+"""Worker-side trace capture and parent-side replay for pooled campaigns.
+
+A campaign cell running inside a ``ProcessPoolExecutor`` worker has its
+own process-local :data:`~repro.obs.bus.BUS` — events it emits never
+reach the parent's sinks, which is why (before this module) only inline
+cells appeared in a campaign trace. The fix is capture-and-ship:
+
+- :func:`run_captured` wraps a cell's execution in the worker. It
+  enables the worker-local observability singletons for exactly the
+  duration of the cell (worker processes are *reused* across cells, so
+  per-cell setup/teardown is mandatory), buffers every bus event in a
+  bounded :class:`CaptureSink`, folds fleet health live, and returns a
+  picklable :class:`CellCapture` next to the cell result.
+- :func:`replay_capture` re-emits a shipped capture on the parent bus
+  with fresh parent event ids, remapping the worker-local provenance
+  ids (``eid``/``cause_id``/``span_id``) through the same table so
+  causal chains survive the process hop, and parenting the worker's
+  top-level spans (and span-less events) under the parent's
+  ``campaign_cell`` span. The result is one unified trace whose
+  validator (:func:`~repro.obs.provenance.validate_trace`) cannot tell
+  fan-out cells from inline ones.
+
+The capture buffer keeps the *first* ``max_events`` events (head-keep)
+rather than the last: the head contains the ``trace_meta``/``run_start``
+header that resets the trace validator's run clock, plus the span starts
+later events reference. Dropped-tail counts are reported on the capture
+so truncation is visible, and :func:`replay_capture` skips ``span_end``
+events whose start fell past the cap so the trace never contains an
+unmatched span end.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.alerts import ALERTS, default_rules
+from repro.obs.bus import BUS
+from repro.obs.events import TraceEvent, event_from_dict
+from repro.obs.health import FleetHealthModel
+from repro.obs.metrics import REGISTRY
+from repro.obs.sinks import EventSink
+from repro.obs.spans import SPANS
+from repro.obs.telemetry import TELEMETRY
+
+#: Per-cell event cap. A 3-day, 6-node cell in the default lossless tier
+#: emits ~26k events; 64k covers it with headroom while bounding a
+#: runaway cell to ~25 MB of pickled events.
+DEFAULT_CAPTURE_MAXLEN = 65536
+
+
+@dataclass(frozen=True)
+class CaptureConfig:
+    """What the parent asks each pooled cell to capture.
+
+    Picklable and shipped to the worker with the spec. ``telemetry`` is
+    the tier *spec string* (see :mod:`repro.obs.telemetry`) so the
+    parent's ``--telemetry`` choice governs worker cells too; empty
+    means "leave the worker's default".
+    """
+
+    telemetry: str = ""
+    max_events: int = DEFAULT_CAPTURE_MAXLEN
+    alerts: bool = True
+    health: bool = True
+    #: Arm the worker's metric registry (step-phase timers, engine
+    #: counters). The full-fidelity default; the monitoring preset turns
+    #: it off because a live dashboard consumes none of it.
+    metrics: bool = True
+
+    @classmethod
+    def monitoring(cls, telemetry: str = "sampled:8") -> "CaptureConfig":
+        """The lean tier for live campaign monitoring (``--watch``).
+
+        Keeps what a :class:`~repro.obs.campaign_monitor.CampaignMonitor`
+        actually consumes — cell lifecycle, per-cell health rollups, and
+        alert episodes — while dropping the deep-debugging payload:
+        battery telemetry is sampled (every 8th step by default) and the
+        worker metric registry stays dark. This is what keeps a watched
+        campaign within a few percent of an untraced one; pass a full
+        :class:`CaptureConfig` (the default protocol) when you need
+        lossless traces instead.
+        """
+        return cls(telemetry=telemetry, metrics=False)
+
+
+def sanitize_forked_worker() -> None:
+    """Drop observability state inherited across a ``fork``.
+
+    POSIX process pools fork workers from the parent mid-campaign, so a
+    worker starts with the parent's attached sinks — including a JSONL
+    sink whose file descriptor is *shared* with the parent and whose
+    buffered, not-yet-flushed lines were copied into the child. Left
+    alone, the worker would interleave its events directly into the
+    parent's trace file and re-flush the copied buffer (duplicating
+    lines). Point the inherited descriptor at ``/dev/null`` (fork copies
+    the fd table, so the parent's own descriptor is untouched), detach
+    every sink, and reset the singletons; the worker then runs
+    observability-silent until :func:`run_captured` builds the per-cell
+    state it actually wants. Used as the pool's worker ``initializer``.
+    """
+    for sink in BUS.sinks:
+        fh = getattr(sink, "_fh", None)
+        if fh is None:
+            continue
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            try:
+                os.dup2(devnull, fh.fileno())
+            finally:
+                os.close(devnull)
+        except (OSError, ValueError):
+            pass
+    BUS.clear_sinks()
+    REGISTRY.reset()
+    REGISTRY.enabled = False
+    ALERTS.reset()
+    ALERTS.enabled = False
+    SPANS.reset()
+
+
+class CaptureSink(EventSink):
+    """Bounded head-keep event buffer (see module docstring for why)."""
+
+    def __init__(self, maxlen: int = DEFAULT_CAPTURE_MAXLEN) -> None:
+        self.maxlen = maxlen
+        self.events: List[TraceEvent] = []
+        self.n_seen = 0
+        self.n_dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.n_seen += 1
+        if len(self.events) < self.maxlen:
+            self.events.append(event)
+        else:
+            self.n_dropped += 1
+
+
+@dataclass
+class CellCapture:
+    """Everything a worker cell ships back besides its result.
+
+    ``events`` are serialised dictionaries (``TraceEvent.to_dict`` plus
+    the provenance ids) — dicts pickle leaner than dataclass instances
+    and decouple the pool protocol from the event class registry.
+    """
+
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    n_seen: int = 0
+    n_dropped: int = 0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    health: Optional[Dict[str, Any]] = None
+
+    @property
+    def truncated(self) -> bool:
+        return self.n_dropped > 0
+
+
+def summarize_health(model: FleetHealthModel) -> Optional[Dict[str, Any]]:
+    """Reduce a cell's :class:`FleetHealthModel` to one rollup dict.
+
+    The dict mirrors :class:`~repro.obs.events.CellHealthEvent`'s
+    payload fields; ``None`` when the model saw no battery telemetry
+    (e.g. ``--telemetry summary`` hides per-battery state).
+    """
+    model.finalize()
+    run = None
+    for candidate in reversed(model.runs):
+        if candidate.batteries:
+            run = candidate
+            break
+    if run is None:
+        return None
+    scores: List[float] = []
+    worst = ""
+    worst_score = float("-inf")
+    nat_max = ddt_max = dr_max = 0.0
+    n_samples = 0
+    for node, battery in sorted(run.batteries.items()):
+        breakdown = battery.breakdown(model.weights)
+        scores.append(breakdown.score)
+        if breakdown.score > worst_score:
+            worst_score = breakdown.score
+            worst = node
+        metrics = battery.metrics()
+        nat_max = max(nat_max, metrics.nat)
+        ddt_max = max(ddt_max, metrics.ddt)
+        dr_max = max(dr_max, metrics.dr_mean)
+        n_samples += battery.n_samples
+    return {
+        "n_batteries": len(run.batteries),
+        "n_samples": n_samples,
+        "score_mean": sum(scores) / len(scores),
+        "score_max": max(scores),
+        "worst": worst,
+        "nat_max": nat_max,
+        "ddt_max": ddt_max,
+        "dr_max": dr_max,
+        "alerts": len(run.alerts),
+    }
+
+
+def run_captured(
+    fn: Callable[[], Any],
+    cfg: CaptureConfig,
+) -> Tuple[Any, Optional[str], CellCapture]:
+    """Run ``fn`` in this (worker) process with full capture around it.
+
+    Returns ``(result, error, capture)`` where exactly one of
+    ``result``/``error`` is meaningful: exceptions are caught and
+    stringified so the partial capture still travels back for the
+    parent to replay before retrying. The worker-local singletons
+    (BUS sinks, REGISTRY, ALERTS, TELEMETRY) are set up before and
+    restored after *every* cell, because pool workers are reused.
+    """
+    sink = CaptureSink(maxlen=cfg.max_events)
+    model = FleetHealthModel() if cfg.health else None
+
+    prev_registry_enabled = REGISTRY.enabled
+    prev_alerts_enabled = ALERTS.enabled
+    prev_alerts_bus = ALERTS.bus
+    prev_telemetry = TELEMETRY.policy.spec()
+
+    BUS.add_sink(sink)
+    if model is not None:
+        BUS.add_sink(model)
+    if cfg.telemetry:
+        TELEMETRY.set_policy(cfg.telemetry)
+    REGISTRY.reset()
+    REGISTRY.enabled = cfg.metrics
+    if cfg.alerts:
+        if not ALERTS.rules:
+            for rule in default_rules():
+                ALERTS.add_rule(rule)
+        ALERTS.reset()
+        ALERTS.bus = BUS
+        ALERTS.enabled = True
+
+    result: Any = None
+    error: Optional[str] = None
+    try:
+        result = fn()
+    except Exception as exc:  # noqa: BLE001 - shipped back as data
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        BUS.remove_sink(sink)
+        if model is not None:
+            BUS.remove_sink(model)
+        metrics = REGISTRY.snapshot()
+        REGISTRY.reset()
+        REGISTRY.enabled = prev_registry_enabled
+        if cfg.alerts:
+            ALERTS.reset()
+        ALERTS.enabled = prev_alerts_enabled
+        ALERTS.bus = prev_alerts_bus
+        if cfg.telemetry:
+            TELEMETRY.set_policy(prev_telemetry)
+
+    capture = CellCapture(
+        events=[_serialize(e) for e in sink.events],
+        n_seen=sink.n_seen,
+        n_dropped=sink.n_dropped,
+        metrics=metrics,
+        health=summarize_health(model) if model is not None else None,
+    )
+    return result, error, capture
+
+
+def _serialize(event: TraceEvent) -> Dict[str, Any]:
+    """``to_dict`` plus the provenance ids it deliberately omits."""
+    data = event.to_dict()
+    data["eid"] = event.eid
+    data["span_id"] = event.span_id
+    data["cause_id"] = event.cause_id
+    return data
+
+
+def replay_capture(
+    capture: CellCapture,
+    cell_span_id: int = 0,
+    bus=None,
+) -> int:
+    """Re-emit a worker capture on the parent bus; returns events emitted.
+
+    Every event gets a fresh parent ``eid``; worker-local
+    ``cause_id``/``span_id`` references are remapped through the
+    worker-eid -> parent-eid table built as the replay walks the buffer
+    in emission order (references always point backwards, so the table
+    is complete when needed). References that fall outside the capture
+    (or past a truncated tail) degrade gracefully: causes drop to 0,
+    span memberships and top-level span parents re-anchor on
+    ``cell_span_id`` — the parent's ``campaign_cell`` span — and
+    ``span_end`` events whose start was truncated away are skipped
+    entirely so the merged trace stays validator-clean.
+    """
+    if bus is None:
+        bus = BUS
+    idmap: Dict[int, int] = {}
+    emitted = 0
+    for data in capture.events:
+        event = event_from_dict(dict(data))
+        old_eid = event.eid
+        old_span = event.span_id
+        old_cause = event.cause_id
+        if event.kind == "span_end" and old_span not in idmap:
+            continue
+        new_eid = bus.next_eid()
+        if old_eid:
+            idmap[old_eid] = new_eid
+        event.eid = new_eid
+        event.cause_id = idmap.get(old_cause, 0) if old_cause else 0
+        if event.kind == "span_start":
+            # The span's id is its own (new) eid; re-parent top-level
+            # worker spans under the parent's campaign_cell span.
+            event.span_id = new_eid
+            parent = getattr(event, "parent_id", 0)
+            event.parent_id = idmap.get(parent, cell_span_id)
+        elif event.kind == "span_end":
+            event.span_id = idmap[old_span]
+        else:
+            event.span_id = idmap.get(old_span, cell_span_id)
+        bus.emit(event)
+        emitted += 1
+    return emitted

@@ -21,8 +21,9 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import zlib
 from dataclasses import dataclass, fields
-from typing import IO, Any, ClassVar, Dict, Iterator, List, Type
+from typing import IO, Any, ClassVar, Dict, Iterator, List, Optional, Type
 
 from repro.errors import ConfigurationError
 
@@ -457,6 +458,55 @@ class CellFinishEvent(TraceEvent):
     kind: ClassVar[str] = "cell_finish"
 
 
+@dataclass
+class CellHealthEvent(TraceEvent):
+    """Per-cell aging rollup: the cell's fleet health in one event.
+
+    Emitted once per executed cell of a traced campaign — computed from
+    a live :class:`~repro.obs.health.FleetHealthModel` for inline cells
+    and from the worker-shipped health summary for pooled cells — so a
+    campaign-level monitor can aggregate aging across thousands of cells
+    without re-folding every battery sample.
+    """
+
+    label: str = ""
+    n_batteries: int = 0
+    n_samples: int = 0
+    score_mean: float = 0.0
+    score_max: float = 0.0
+    worst: str = ""
+    nat_max: float = 0.0
+    ddt_max: float = 0.0
+    dr_max: float = 0.0
+    alerts: int = 0
+
+    kind: ClassVar[str] = "cell_health"
+
+
+@dataclass
+class CampaignStartEvent(TraceEvent):
+    """A campaign began: the denominator every progress view needs."""
+
+    n_cells: int = 0
+    n_workers: int = 0
+
+    kind: ClassVar[str] = "campaign_start"
+
+
+@dataclass
+class CampaignFinishEvent(TraceEvent):
+    """A campaign completed; totals mirror the returned report."""
+
+    n_cells: int = 0
+    ok: int = 0
+    failed: int = 0
+    cached: int = 0
+    executed: int = 0
+    wall_s: float = 0.0
+
+    kind: ClassVar[str] = "campaign_finish"
+
+
 # ----------------------------------------------------------------------
 # Round-tripping
 # ----------------------------------------------------------------------
@@ -543,6 +593,180 @@ def iter_trace_lines(path: str) -> Iterator[str]:
                 line = line.strip()
                 if line:
                     yield line
+
+
+class TraceTailer:
+    """Follow-mode reader for a trace that is still being written.
+
+    Unlike :func:`iter_events` (a one-shot replay of a finished trace),
+    a tailer is *incremental*: every :meth:`drain` call returns the
+    typed events that became readable since the last call and returns
+    immediately — the ``repro top`` dashboard polls it on its render
+    interval. It follows the same segment families the sink writes:
+
+    - **Plain segments** keep a persistent file handle; partially
+      written trailing lines (no ``\\n`` yet) are carried over and
+      completed on a later drain, so no event is ever split or dropped.
+    - **Gzipped segments** cannot be incrementally appended-read (the
+      stream's end marker is missing until close), so each drain
+      re-reads the segment from the top, salvages the decodable prefix
+      of the unterminated stream, and skips the complete lines already
+      returned.
+    - **Rotation** is detected by the next segment appearing on disk
+      (the sink closes a segment *before* opening its successor, so
+      once ``trace.jsonl.N+1`` exists, segment ``N`` is final): the
+      tailer finishes the current segment and advances, through as many
+      segments as needed per drain.
+
+    A missing first segment is not an error — the tailer waits for the
+    writer to create it (``drain`` returns nothing until then), which is
+    what lets ``repro top`` be started before the campaign.
+    """
+
+    def __init__(self, path: str, strict: bool = False):
+        self.path = path
+        self.strict = strict
+        self.n_events = 0
+        self.n_segments_done = 0
+        self._base: Optional[str] = None  # resolved segment-family base
+        self._seg: Optional[str] = None  # current segment's actual path
+        self._index = 0
+        self._fh: Optional[IO[str]] = None  # persistent handle (plain only)
+        self._carry = ""  # partial trailing line (plain only)
+        self._lines_done = 0  # complete lines consumed (gzip only)
+
+    # ------------------------------------------------------------------
+    def _resolve(self) -> bool:
+        """Find the first segment once the writer has created it."""
+        if self._base is not None:
+            return True
+        base = self.path
+        if not os.path.exists(base):
+            if base.endswith(".gz") or not os.path.exists(base + ".gz"):
+                return False
+            base = base + ".gz"
+        self._base = base
+        self._seg = base
+        return True
+
+    def _next_segment(self) -> Optional[str]:
+        assert self._base is not None
+        candidate = segment_path(self._base, self._index + 1)
+        if os.path.exists(candidate):
+            return candidate
+        if not candidate.endswith(".gz") and os.path.exists(candidate + ".gz"):
+            return candidate + ".gz"
+        return None
+
+    # ------------------------------------------------------------------
+    def _read_plain(self) -> List[str]:
+        assert self._seg is not None
+        if self._fh is None:
+            try:
+                self._fh = open(self._seg, "r", encoding="utf-8")
+            except OSError:
+                return []
+        data = self._fh.read()
+        if not data:
+            return []
+        buf = self._carry + data
+        lines = buf.split("\n")
+        self._carry = lines.pop()  # "" when data ended on a newline
+        return lines
+
+    def _read_gzip(self) -> List[str]:
+        assert self._seg is not None
+        # Raw zlib decompression, not gzip.open: the file-object readers
+        # raise EOFError on an unterminated member and discard whatever
+        # they had already decoded, whereas the sink's per-event
+        # Z_SYNC_FLUSH leaves a byte-aligned prefix that decompressobj
+        # recovers as-is — which is the whole point of tailing a segment
+        # the writer still has open.
+        try:
+            with open(self._seg, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return []
+        decomp = zlib.decompressobj(wbits=31)  # gzip-wrapped stream
+        pieces: List[bytes] = []
+        try:
+            pieces.append(decomp.decompress(raw))
+            pieces.append(decomp.flush())
+        except zlib.error:
+            # Corrupt/partial tail past the sync point: keep the prefix.
+            pass
+        # Any byte-level truncation lands after the last newline (inside
+        # the partial line we drop below), so lossy decoding cannot harm
+        # a complete line.
+        text = b"".join(pieces).decode("utf-8", errors="replace")
+        complete = text.split("\n")[:-1]  # drop the piece after the last \n
+        fresh = complete[self._lines_done :]
+        self._lines_done = len(complete)
+        return fresh
+
+    def _finish_segment(self) -> List[str]:
+        """Final lines of a rotated-away (closed, complete) segment."""
+        tail: List[str] = []
+        if self._seg is not None and self._seg.endswith(".gz"):
+            tail = self._read_gzip()
+        else:
+            tail = self._read_plain()
+            # A closed segment ends with a newline; a non-empty carry
+            # here means the writer died mid-line — surface it anyway.
+            if self._carry.strip():
+                tail.append(self._carry)
+            self._carry = ""
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+        self._lines_done = 0
+        self.n_segments_done += 1
+        return tail
+
+    def _parse(self, lines: List[str], out: List[TraceEvent]) -> None:
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = event_from_dict(json.loads(line))
+            except ValueError:
+                if self.strict:
+                    raise
+                continue
+            except ConfigurationError:
+                if self.strict:
+                    raise
+                continue
+            self.n_events += 1
+            out.append(event)
+
+    # ------------------------------------------------------------------
+    def drain(self) -> List[TraceEvent]:
+        """Every event that became readable since the last drain."""
+        out: List[TraceEvent] = []
+        if not self._resolve():
+            return out
+        while True:
+            # Check for a successor *before* reading: if one exists, the
+            # current segment is already final, so one read gets all of
+            # it and we can advance without a re-read race.
+            successor = self._next_segment()
+            if successor is not None:
+                self._parse(self._finish_segment(), out)
+                self._seg = successor
+                self._index += 1
+                continue
+            if self._seg is not None and self._seg.endswith(".gz"):
+                self._parse(self._read_gzip(), out)
+            else:
+                self._parse(self._read_plain(), out)
+            return out
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
 
 
 def iter_events(path: str, strict: bool = True) -> Iterator[TraceEvent]:

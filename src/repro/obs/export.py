@@ -18,7 +18,9 @@ these functions serialise it for the outside world:
 
 Histograms are bucket-free summaries, so they export as the
 ``_count``/``_sum`` pair OpenMetrics defines plus ``_min``/``_max``
-gauges (a common pattern for summary-style metrics).
+gauges (a common pattern for summary-style metrics) and the streaming
+p50/p95/p99 estimates as the standard ``{quantile="..."}``-labelled
+summary samples.
 """
 
 from __future__ import annotations
@@ -37,6 +39,10 @@ from repro.obs.sinks import EventSink
 #: registry's dotted names (``engine.step.place``) map onto this.
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram quantile keys and their OpenMetrics ``quantile`` label.
+_QUANTILE_KEYS = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+_QUANTILE_BY_LABEL = {q: key for key, q in _QUANTILE_KEYS}
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -67,6 +73,9 @@ def to_openmetrics(registry: MetricRegistry, prefix: str = "repro") -> str:
     for name, hist in snap["histograms"].items():
         metric = f"{prefix}_{sanitize_metric_name(name)}"
         lines.append(f"# TYPE {metric} summary")
+        for key, q in _QUANTILE_KEYS:
+            if key in hist:
+                lines.append(f'{metric}{{quantile="{q}"}} {hist[key]!r}')
         lines.append(f"{metric}_count {hist['count']!r}")
         lines.append(f"{metric}_sum {hist['total']!r}")
         lines.append(f"# TYPE {metric}_min gauge")
@@ -103,6 +112,17 @@ def parse_openmetrics(text: str) -> Dict[str, Dict[str, float]]:
         if not name:
             raise ConfigurationError(f"malformed OpenMetrics line: {line!r}")
         value = float(value_str)
+        if "{" in name:
+            # A quantile-labelled summary sample: metric{quantile="0.5"}.
+            base, _, labels = name.partition("{")
+            match = re.match(r'quantile="([^"]+)"\}$', labels)
+            key = _QUANTILE_BY_LABEL.get(match.group(1)) if match else None
+            if key is None or types.get(base) != "summary":
+                raise ConfigurationError(
+                    f"unsupported labelled OpenMetrics sample: {line!r}"
+                )
+            out["summary"].setdefault(base, {})[key] = value
+            continue
         base, suffix = name, ""
         for candidate in ("_total", "_count", "_sum", "_min", "_max"):
             if name.endswith(candidate):
@@ -143,8 +163,9 @@ def to_csv_snapshot(registry: MetricRegistry) -> str:
     for name, value in snap["gauges"].items():
         writer.writerow([name, "value", repr(value)])
     for name, hist in snap["histograms"].items():
-        for field in ("count", "total", "mean", "min", "max"):
-            writer.writerow([name, field, repr(hist[field])])
+        for field in ("count", "total", "mean", "min", "max", "p50", "p95", "p99"):
+            if field in hist:
+                writer.writerow([name, field, repr(hist[field])])
     return buf.getvalue()
 
 

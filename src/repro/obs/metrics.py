@@ -13,12 +13,143 @@ hot loops.
 
 :meth:`MetricRegistry.sample` folds the current values into a
 timestamped snapshot list — the engine samples at day boundaries, giving
-the periodic series the paper's per-day analyses need.
+the periodic series the paper's per-day analyses need. The list is
+bounded (:data:`DEFAULT_SAMPLE_LIMIT`) so week-long campaigns cannot
+grow it without limit; the newest samples win.
+
+Histograms additionally keep streaming p50/p95/p99 estimates via the
+P² algorithm (:class:`P2Quantile`) — O(1) memory per quantile, no
+per-observation storage — which is what lets a campaign report cell
+wall-time tails without ever holding the samples.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+#: Cap on the registry's timestamped snapshot list (day boundaries for a
+#: single run, rollup points for campaigns). Oldest entries are dropped
+#: first; 4096 day-samples is > 11 simulated years.
+DEFAULT_SAMPLE_LIMIT = 4096
+
+#: The quantiles every histogram tracks (keys in ``to_dict``).
+HISTOGRAM_QUANTILES = (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm.
+
+    Jain & Chlamtac (1985): five markers track the min, max, the target
+    quantile, and its two flanking quantiles; each observation nudges
+    marker heights by a piecewise-parabolic update. O(1) memory and
+    O(1) per observation — exact for the first five observations (a
+    sorted-sample interpolation is returned until the markers take
+    over), an estimate with bounded drift afterwards.
+    """
+
+    __slots__ = ("q", "n", "_heights", "_positions", "_dinit", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.n = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        # Desired marker positions are linear in the observation count
+        # (init + t * rate after t post-warm-up observations), so they
+        # are computed on demand in observe() rather than stored and
+        # incremented — this is the metrics hot path (every step-phase
+        # timer lands here), so per-observation work is kept minimal.
+        self._dinit = (1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0)
+        self._rates = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, x: float) -> None:
+        self.n += 1
+        h = self._heights
+        if len(h) < 5:
+            h.append(x)
+            h.sort()
+            return
+        # Locate the marker cell the observation falls into.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x < h[1]:
+            k = 0
+        elif x < h[2]:
+            k = 1
+        elif x < h[3]:
+            k = 2
+        elif x < h[4]:
+            k = 3
+        else:
+            h[4] = x
+            k = 3
+        pos = self._positions
+        if k == 0:
+            pos[1] += 1.0
+            pos[2] += 1.0
+            pos[3] += 1.0
+        elif k == 1:
+            pos[2] += 1.0
+            pos[3] += 1.0
+        elif k == 2:
+            pos[3] += 1.0
+        pos[4] += 1.0
+        # Nudge the three interior markers toward their desired positions.
+        t = float(self.n - 5)
+        dinit = self._dinit
+        rates = self._rates
+        for i in (1, 2, 3):
+            pi = pos[i]
+            d = dinit[i] + t * rates[i] - pi
+            if (d >= 1.0 and pos[i + 1] - pi > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pi < -1.0
+            ):
+                step = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] = pi + step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d)
+            * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d)
+            * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any observation)."""
+        h = self._heights
+        if not h:
+            return 0.0
+        if self.n <= 5:
+            # Markers not initialized yet: exact linear interpolation
+            # over the sorted observations (numpy 'linear' convention).
+            if len(h) == 1:
+                return h[0]
+            idx = self.q * (len(h) - 1)
+            lo = int(idx)
+            frac = idx - lo
+            if lo + 1 >= len(h):
+                return h[-1]
+            return h[lo] + frac * (h[lo + 1] - h[lo])
+        return h[2]
 
 
 class Counter:
@@ -48,14 +179,14 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values: count, sum, min, max, mean.
+    """Streaming summary of observed values — no per-sample storage.
 
-    Deliberately bucket-free — the phase timers and cell durations this
-    registry serves need rates and means, not tail quantiles, and a
-    four-float update keeps the hot path cheap.
+    Deliberately bucket-free: count/sum/min/max in four floats, plus
+    p50/p95/p99 tails tracked by constant-memory :class:`P2Quantile`
+    estimators, so week-long campaigns never accumulate samples.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_quantiles")
 
     def __init__(self, name: str):
         self.name = name
@@ -63,6 +194,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._quantiles = tuple(P2Quantile(q) for _, q in HISTOGRAM_QUANTILES)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -71,30 +203,74 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        for estimator in self._quantiles:
+            estimator.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, key: str) -> float:
+        """Current estimate for ``"p50"``/``"p95"``/``"p99"``."""
+        for (name, _), estimator in zip(HISTOGRAM_QUANTILES, self._quantiles):
+            if name == key:
+                return estimator.value
+        raise KeyError(key)
+
+    def merge(self, other: Dict[str, Any]) -> None:
+        """Fold another histogram's ``to_dict`` form into this one.
+
+        Used to aggregate worker-process registries into the parent's.
+        count/total/min/max merge exactly; quantile estimators cannot be
+        merged, so each incoming quantile value is fed to its estimator
+        as one observation — a quantile-of-quantiles approximation that
+        is exact when this histogram had no local observations and only
+        one snapshot is merged.
+        """
+        incoming = int(other.get("count", 0))
+        if incoming <= 0:
+            return
+        self.count += incoming
+        self.total += other.get("total", 0.0)
+        if other["min"] < self.min:
+            self.min = other["min"]
+        if other["max"] > self.max:
+            self.max = other["max"]
+        for (key, _), estimator in zip(HISTOGRAM_QUANTILES, self._quantiles):
+            if key in other:
+                estimator.observe(other[key])
+
     def to_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
         }
+        for (key, _), estimator in zip(HISTOGRAM_QUANTILES, self._quantiles):
+            out[key] = estimator.value
+        return out
 
 
 class MetricRegistry:
     """Named metric store with periodic snapshot sampling."""
 
-    def __init__(self) -> None:
+    def __init__(self, sample_limit: Optional[int] = DEFAULT_SAMPLE_LIMIT) -> None:
         self.enabled: bool = False
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
-        self.samples: List[Dict[str, Any]] = []
+        self._samples: Deque[Dict[str, Any]] = deque(maxlen=sample_limit)
+
+    @property
+    def samples(self) -> List[Dict[str, Any]]:
+        """Timestamped snapshots recorded by :meth:`sample`, oldest first.
+
+        Bounded (``sample_limit``, newest win) so long campaigns cannot
+        grow the registry without limit.
+        """
+        return list(self._samples)
 
     # ------------------------------------------------------------------
     # Get-or-create handles
@@ -136,15 +312,30 @@ class MetricRegistry:
     def sample(self, t: float) -> Dict[str, Any]:
         """Record (and return) a timestamped snapshot."""
         snap = {"t": t, **self.snapshot()}
-        self.samples.append(snap)
+        self._samples.append(snap)
         return snap
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The campaign runner uses this to aggregate worker-process
+        registries into the parent's: counters add, gauges take the
+        incoming value (last writer wins), histograms merge via
+        :meth:`Histogram.merge`.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist in snap.get("histograms", {}).items():
+            self.histogram(name).merge(hist)
 
     def reset(self) -> None:
         """Drop every metric and sample (the ``enabled`` flag persists)."""
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
-        self.samples.clear()
+        self._samples.clear()
 
 
 #: The process-wide registry instrumented modules record into.

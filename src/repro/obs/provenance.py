@@ -64,6 +64,9 @@ INDEXED_KINDS = frozenset(
         "cell_cache_hit",
         "cell_retry",
         "cell_finish",
+        "cell_health",
+        "campaign_start",
+        "campaign_finish",
     }
 )
 
@@ -92,7 +95,15 @@ DEFAULT_EXPLAIN_KINDS = (
 
 #: ``cell_*`` events run on the campaign wall clock, not the sim clock.
 CAMPAIGN_EVENT_KINDS = frozenset(
-    {"cell_start", "cell_cache_hit", "cell_retry", "cell_finish"}
+    {
+        "cell_start",
+        "cell_cache_hit",
+        "cell_retry",
+        "cell_finish",
+        "cell_health",
+        "campaign_start",
+        "campaign_finish",
+    }
 )
 
 

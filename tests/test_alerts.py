@@ -88,6 +88,18 @@ class TestThresholdHysteresis:
         assert cleared.severity == "info"
         assert engine.active() == []
 
+    def test_is_active_tracks_the_episode(self):
+        engine = engine_with(ABOVE)
+        assert not engine.is_active("hot", "n1")
+        engine.observe("hot", "n1", 11.0, t=0.0)
+        assert engine.is_active("hot", "n1")
+        assert not engine.is_active("hot", "n2")
+        # Inside the hysteresis band: still active (dedup, no emission).
+        engine.observe("hot", "n1", 9.0, t=1.0)
+        assert engine.is_active("hot", "n1")
+        engine.observe("hot", "n1", 7.9, t=2.0)
+        assert not engine.is_active("hot", "n1")
+
     def test_below_direction_mirrors(self):
         rule = AlertRule(
             name="reserve", threshold=120.0, direction="below",

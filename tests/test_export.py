@@ -47,11 +47,16 @@ class TestOpenMetrics:
         assert parsed["counter"]["repro_engine_steps"] == 42.0
         assert parsed["gauge"]["repro_planned_dod_goal_node0"] == 0.55
         summary = parsed["summary"]["repro_phase_control"]
+        # Three observations: quantiles are still the exact sorted-sample
+        # interpolation (the P2 markers take over after five).
         assert summary == {
             "count": 3.0,
             "sum": pytest.approx(0.012),
             "min": 0.001,
             "max": 0.009,
+            "p50": pytest.approx(0.002),
+            "p95": pytest.approx(0.0083),
+            "p99": pytest.approx(0.00886),
         }
 
     def test_terminates_with_eof(self, registry):

@@ -269,6 +269,9 @@ class TestMetricRegistry:
             "mean": 3.0,
             "min": 1.0,
             "max": 6.0,
+            "p50": pytest.approx(2.0),
+            "p95": pytest.approx(5.6),
+            "p99": pytest.approx(5.92),
         }
 
     def test_empty_histogram_reports_zeros(self):
@@ -281,6 +284,9 @@ class TestMetricRegistry:
             "mean": 0.0,
             "min": 0.0,
             "max": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
         }
 
     def test_handles_are_shared(self):

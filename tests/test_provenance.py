@@ -323,11 +323,22 @@ class TestCampaignSpanPropagation:
         result = validate_trace(path)
         assert result.ok, [str(v) for v in result.violations]
         index = ProvenanceIndex.from_trace(path)
-        # Only the inline cell runs in-process, so exactly its span (and
-        # its engine events) appear; the pool cell contributes only
-        # wall-clock cell_* lifecycle events.
-        cells = {
-            r.node for r in index.spans.values() if r.name == "campaign_cell"
+        # Worker fan-in: the pool cell's events are captured in the
+        # worker, shipped back, and replayed inside its campaign_cell
+        # span — both cells now appear as first-class spans with their
+        # engine events attributed.
+        cell_spans = {
+            r.node: r
+            for r in index.spans.values()
+            if r.name == "campaign_cell"
         }
-        assert cells == {"inline-cell"}
+        assert set(cell_spans) == {"inline-cell", "pool-cell"}
+        assert all(not r.open for r in cell_spans.values())
+        run_starts = [
+            e for e in index.events.values() if e.kind == "run_start"
+        ]
+        assert len(run_starts) == 2
+        assert {e.span_id for e in run_starts} == {
+            r.span_id for r in cell_spans.values()
+        }
         assert index.event_counts.get("cell_finish", 0) == 2
