@@ -479,6 +479,11 @@ def main(argv=None) -> int:
         "--skip-campaign", action="store_true",
         help="skip the campaign monitor measurement",
     )
+    parser.add_argument(
+        "--perf-history", default=None, metavar="PATH",
+        help="also append the measurements to a perf-history JSONL "
+        "(see 'repro perf')",
+    )
     args = parser.parse_args(argv)
     results = measure()
     print(report(results))
@@ -491,11 +496,19 @@ def main(argv=None) -> int:
         campaign = measure_campaign()
         print(campaign_report(campaign))
     data = payload(results, fleet, campaign)
+    from repro.perf import PerfHistory, collect_meta
+
+    document = {"obs_overhead": data, "meta": collect_meta()}
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump({"obs_overhead": data}, fh, indent=2, sort_keys=True)
+            json.dump(document, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
+    if args.perf_history:
+        record = PerfHistory(args.perf_history).record_payload(document)
+        print(
+            f"recorded {len(record.metrics)} metric(s) to {args.perf_history}"
+        )
     print(
         f"null-sink overhead {'within' if data['ok_null'] else 'EXCEEDS'} "
         f"{MAX_NULL_OVERHEAD_PCT} % budget"

@@ -11,10 +11,13 @@ over N worker processes. The on-disk result cache is disabled for the
 whole suite — benches must measure simulation, not pickle loads.
 
 ``--bench-json PATH`` additionally writes a machine-readable report
-(``BENCH_obs.json`` in CI): per-bench wall seconds, plus — when
-``bench_obs_overhead`` ran — its full measurement (mode timings,
-steps/s, overhead percentages, budgets and pass flags), which CI gates
-on.
+(``BENCH_obs.json`` in CI): a provenance ``meta`` block (git sha,
+branch, UTC timestamp, host/python/numpy fingerprint), per-bench wall
+seconds, plus — when ``bench_obs_overhead`` ran — its full measurement
+(mode timings, steps/s, overhead percentages, budgets and pass flags),
+which CI gates on. ``--perf-history PATH`` appends the same report to a
+perf-history JSONL (see ``repro perf``) so bench wall times accumulate a
+longitudinal trajectory.
 """
 
 import json
@@ -23,6 +26,7 @@ import time
 import pytest
 
 from repro.campaign import configure_cache, reset_cache_config, set_default_workers
+from repro.perf import PerfHistory, collect_meta
 
 
 def pytest_addoption(parser):
@@ -38,6 +42,13 @@ def pytest_addoption(parser):
         metavar="PATH",
         help="write per-bench wall times (and the obs-overhead measurement) "
         "as JSON to PATH",
+    )
+    parser.addoption(
+        "--perf-history",
+        default=None,
+        metavar="PATH",
+        help="append the bench report to a perf-history JSONL "
+        "(see 'repro perf')",
     )
 
 
@@ -69,15 +80,20 @@ def pytest_runtest_logreport(report):
 
 def pytest_sessionfinish(session):
     path = session.config.getoption("--bench-json")
-    if not path:
+    history_path = session.config.getoption("--perf-history")
+    if not path and not history_path:
         return
     overhead = _REPORTS.pop("_obs_overhead", None)
     data = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "meta": collect_meta(),
         "benches": {k: v for k, v in sorted(_REPORTS.items())},
     }
     if overhead is not None:
         data["obs_overhead"] = overhead
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if history_path and data["benches"]:
+        PerfHistory(history_path).record_payload(data)

@@ -26,7 +26,18 @@ The subcommands mirror how the prototype was operated:
 - ``repro health`` — per-battery aging attribution, alerts, and EOL
   projections from a trace file or a live instrumented run;
 - ``repro export`` — run one instrumented simulation and export the
-  metric registry (OpenMetrics/Prometheus text format or CSV).
+  metric registry (OpenMetrics/Prometheus text format or CSV);
+- ``repro perf record <payload>...`` — append BENCH_engine.json /
+  BENCH_obs.json / bench-suite / campaign-summary payloads to the
+  append-only perf history (JSONL, provenance-stamped);
+- ``repro perf history [METRIC]`` — ASCII sparkline + table of one
+  metric's recorded trajectory (omit METRIC to list the series);
+- ``repro perf diff SHA_A SHA_B`` — metric-by-metric comparison of two
+  recorded commits;
+- ``repro perf check`` — judge the newest record (or explicit payload
+  files) against each metric's rolling same-host baseline; exits
+  non-zero on a regression, naming the metric, the deviation, and the
+  trend (CI gate).
 
 Every simulation-running subcommand accepts ``--workers N`` (process
 fan-out), ``--no-cache`` (force fresh runs), ``--cache-dir``,
@@ -53,6 +64,9 @@ Usage::
     python -m repro health out.jsonl
     python -m repro health --policy baat --day rainy --days 2
     python -m repro export --format openmetrics --out metrics.prom
+    python -m repro perf record BENCH_engine.json BENCH_obs.json
+    python -m repro perf history engine/n48/fleet_steps_per_s
+    python -m repro perf check --trace perf.jsonl --export perf.prom
     python -m repro cache info
 """
 
@@ -377,12 +391,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         RunSpec(scenario=scenario, trace=trace, policy=name) for name in policies
     ]
 
-    # --watch / --summary attach a CampaignMonitor to the bus. A bus
-    # sink implies live observability, so either flag turns on the
-    # traced campaign protocol (worker fan-in included) even without
-    # --trace.
+    # --watch / --summary / --perf-history attach a CampaignMonitor to
+    # the bus. A bus sink implies live observability, so any of these
+    # flags turns on the traced campaign protocol (worker fan-in
+    # included) even without --trace.
     monitor: Optional[CampaignMonitor] = None
-    if args.watch or args.summary:
+    if args.watch or args.summary or args.perf_history:
         monitor = CampaignMonitor()
         BUS.add_sink(monitor)
     watcher: Optional[threading.Thread] = None
@@ -426,6 +440,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if monitor is not None and args.summary:
         write_summary(monitor, args.summary)
         print(f"  summary written to {args.summary}")
+    if monitor is not None and args.perf_history:
+        from repro.perf import PerfHistory
+
+        record = PerfHistory(args.perf_history).record_payload(
+            monitor.summary()
+        )
+        print(
+            f"  recorded {len(record.metrics)} campaign metric(s) "
+            f"to {args.perf_history}"
+        )
     return 1 if failures else 0
 
 
@@ -843,6 +867,199 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_payload(path: str) -> dict:
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise SystemExit(f"no such payload file: {path}") from None
+    except ValueError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}") from None
+
+
+def _perf_record(args: argparse.Namespace, history) -> int:
+    for path in args.files:
+        data = _load_payload(path)
+        try:
+            record = history.record_payload(data)
+        except ConfigurationError as exc:
+            raise SystemExit(f"{path}: {exc}") from None
+        print(
+            f"recorded {record.source} from {path}: "
+            f"{len(record.metrics)} metric(s) at "
+            f"{record.sha[:9] or 'unknown sha'}"
+        )
+    print(f"history: {len(history)} record(s) in {history.path}")
+    return 0
+
+
+def _perf_history(args: argparse.Namespace, history) -> int:
+    from repro import perf
+
+    records = history.records()
+    if history.n_skipped:
+        print(
+            f"warning: skipped {history.n_skipped} unreadable history line(s)"
+        )
+    if not args.metric:
+        print(perf.render_metric_list(history.metric_names()))
+        return 0
+    pairs = history.series(args.metric, records=records)
+    if not pairs:
+        matches = [n for n in history.metric_names() if args.metric in n]
+        if matches:
+            print(f"no metric named {args.metric!r}; close matches:")
+            for name in matches[:20]:
+                print(f"  {name}")
+        else:
+            print(f"no recorded values for metric {args.metric!r}")
+        return 1
+    values = [v for _, v in pairs]
+    print(
+        perf.render_history(
+            args.metric, pairs,
+            change=perf.change_point(values),
+            limit=args.limit,
+        )
+    )
+    return 0
+
+
+def _perf_diff(args: argparse.Namespace, history) -> int:
+    from repro import perf
+
+    records = history.records()
+
+    def merged(sha_prefix: str):
+        """Latest value of every metric recorded at a matching sha."""
+        metrics: dict = {}
+        full = None
+        for record in records:
+            if record.sha.startswith(sha_prefix) and record.sha:
+                metrics.update(record.metrics)
+                full = record.sha
+        if full is None:
+            raise SystemExit(
+                f"no history record in {history.path} matches sha "
+                f"{sha_prefix!r}"
+            )
+        return full, metrics
+
+    sha_a, metrics_a = merged(args.sha_a)
+    sha_b, metrics_b = merged(args.sha_b)
+    print(perf.render_diff(sha_a, sha_b, metrics_a, metrics_b))
+    return 0
+
+
+def _announce_regressions(result) -> None:
+    """Fan confirmed regressions out to the obs layer (when enabled).
+
+    Each regression becomes a typed ``perf_regression`` bus event, an
+    observation against the ``perf_regression`` alert rule, and registry
+    metrics — so a ``repro perf check --trace FILE`` produces a trace
+    that validates and exports like any other instrumented command.
+    ``t`` is an emission counter: perf checks have no simulation clock,
+    and the validator only requires run-clock monotonicity.
+    """
+    from repro.obs import ALERTS, PerfRegressionEvent
+
+    sha = result.candidate.sha if result.candidate is not None else ""
+    have_rule = any(r.name == "perf_regression" for r in ALERTS.rules)
+    for i, check in enumerate(result.regressions):
+        t = float(i)
+        if BUS.enabled:
+            BUS.emit(PerfRegressionEvent(
+                t=t,
+                metric=check.metric,
+                value=check.value,
+                baseline=check.median,
+                sigma=check.sigma,
+                deviation=check.deviation,
+                direction=check.direction or "",
+                sha=sha,
+            ))
+        if ALERTS.enabled and have_rule:
+            ALERTS.observe("perf_regression", check.metric, check.deviation, t)
+        if REGISTRY.enabled:
+            REGISTRY.counter("perf/regressions_total").inc()
+            REGISTRY.gauge(f"perf/deviation/{check.metric}").set(
+                check.deviation
+            )
+
+
+def _export_perf_metrics(result, path: str) -> None:
+    """OpenMetrics rendering of a check outcome (no --trace required)."""
+    from repro.obs.export import write_export
+    from repro.obs.metrics import MetricRegistry
+
+    registry = MetricRegistry()
+    registry.enabled = True
+    registry.counter("perf/regressions_total").inc(len(result.regressions))
+    registry.gauge("perf/metrics_checked").set(len(result.checks))
+    registry.gauge("perf/metrics_without_baseline").set(
+        len(result.no_baseline)
+    )
+    for check in result.regressions:
+        registry.gauge(f"perf/deviation/{check.metric}").set(check.deviation)
+    write_export(registry, path, fmt="openmetrics")
+    print(f"wrote openmetrics export to {path}")
+
+
+def _perf_check(args: argparse.Namespace, history) -> int:
+    from repro import perf
+
+    candidate = None
+    if args.files:
+        # Judge the given payloads against the whole history without
+        # appending them — the "would this regress?" pre-commit shape.
+        metrics: dict = {}
+        sources: List[str] = []
+        meta = None
+        for path in args.files:
+            data = _load_payload(path)
+            try:
+                source, flat = perf.extract_metrics(data)
+            except ConfigurationError as exc:
+                raise SystemExit(f"{path}: {exc}") from None
+            sources.append(source)
+            metrics.update(flat)
+            payload_meta = data.get("meta")
+            if meta is None and isinstance(payload_meta, dict) and payload_meta:
+                meta = {str(k): str(v) for k, v in payload_meta.items()}
+        candidate = perf.PerfRecord(
+            source="+".join(sources),
+            meta=meta or perf.collect_meta(),
+            metrics=metrics,
+        )
+    result = perf.check_history(
+        history,
+        candidate=candidate,
+        window=args.window,
+        threshold=args.threshold,
+    )
+    _announce_regressions(result)
+    if args.export:
+        _export_perf_metrics(result, args.export)
+    print(perf.render_check(result))
+    return 0 if result.ok else 1
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Perf observatory: record, plot, diff, and gate on bench history."""
+    from repro import perf
+
+    history = perf.PerfHistory(args.history or perf.default_history_path())
+    if args.perf_cmd == "record":
+        return _perf_record(args, history)
+    if args.perf_cmd == "history":
+        return _perf_history(args, history)
+    if args.perf_cmd == "diff":
+        return _perf_diff(args, history)
+    return _perf_check(args, history)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -903,6 +1120,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--summary", default=None, metavar="FILE",
         help="write a machine-readable campaign_summary.json rollup",
+    )
+    campaign.add_argument(
+        "--perf-history", default=None, metavar="FILE",
+        help="append the campaign rollup to a perf-history JSONL "
+        "(see 'repro perf')",
     )
     campaign.add_argument(
         "--capture", choices=("full", "monitoring"), default="full",
@@ -1047,6 +1269,80 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flags(export)
     _add_profile_flag(export)
 
+    perf_p = sub.add_parser(
+        "perf",
+        help="benchmark history: record payloads, plot series, diff shas, "
+        "gate on regressions",
+    )
+    perf_sub = perf_p.add_subparsers(dest="perf_cmd", required=True)
+
+    def _add_history_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--history", default=None, metavar="FILE",
+            help="perf history JSONL (default: $REPRO_PERF_HISTORY or "
+            "./perf-history.jsonl)",
+        )
+
+    perf_record = perf_sub.add_parser(
+        "record",
+        help="append BENCH_engine.json / BENCH_obs.json / bench-suite / "
+        "campaign-summary payloads to the history",
+    )
+    perf_record.add_argument(
+        "files", nargs="+", metavar="PAYLOAD",
+        help="JSON payload file(s) to ingest",
+    )
+    _add_history_flag(perf_record)
+
+    perf_hist = perf_sub.add_parser(
+        "history",
+        help="ASCII sparkline + table of one metric's recorded series",
+    )
+    perf_hist.add_argument(
+        "metric", nargs="?", default=None,
+        help="metric name (e.g. engine/n48/fleet_steps_per_s); omit to "
+        "list every recorded metric",
+    )
+    perf_hist.add_argument(
+        "--limit", type=int, default=15,
+        help="table rows to print (default 15)",
+    )
+    _add_history_flag(perf_hist)
+
+    perf_diff = perf_sub.add_parser(
+        "diff", help="metric-by-metric comparison of two recorded shas"
+    )
+    perf_diff.add_argument("sha_a", help="first sha (prefix match)")
+    perf_diff.add_argument("sha_b", help="second sha (prefix match)")
+    _add_history_flag(perf_diff)
+
+    perf_check = perf_sub.add_parser(
+        "check",
+        help="exit non-zero when the newest record (or given payloads) "
+        "falls outside its rolling same-host baseline",
+    )
+    perf_check.add_argument(
+        "files", nargs="*", metavar="PAYLOAD",
+        help="judge these payload files against the history instead of "
+        "the newest recorded entry (nothing is appended)",
+    )
+    perf_check.add_argument(
+        "--window", type=int, default=20, metavar="K",
+        help="rolling baseline window: last K same-host records "
+        "(default 20)",
+    )
+    perf_check.add_argument(
+        "--threshold", type=float, default=4.0, metavar="SIGMA",
+        help="robust sigmas outside baseline that count as a regression "
+        "(default 4.0)",
+    )
+    perf_check.add_argument(
+        "--export", default=None, metavar="FILE",
+        help="write an OpenMetrics rendering of the check outcome",
+    )
+    _add_history_flag(perf_check)
+    _add_trace_flags(perf_check)
+
     return parser
 
 
@@ -1068,6 +1364,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "stats": cmd_stats,
         "health": cmd_health,
         "export": cmd_export,
+        "perf": cmd_perf,
     }
     # --trace on run/compare/campaign: attach a JSONL sink (and enable the
     # metric registry) for the duration of the command. stats/health/export
@@ -1104,6 +1401,10 @@ def _print_profile(profiler, target: str) -> None:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     print("\nprofile (top 15 by cumulative time):")
     stats.sort_stats("cumulative").print_stats(15)
+    # A second cut by internal time: cumulative ranking buries the leaf
+    # array kernels under the callers that dispatch them.
+    print("profile (top 15 by tottime):")
+    stats.sort_stats("tottime").print_stats(15)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

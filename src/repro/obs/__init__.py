@@ -89,6 +89,7 @@ from repro.obs.events import (
     EvacuationEvent,
     FleetSummaryEvent,
     ParkEvent,
+    PerfRegressionEvent,
     RunStartEvent,
     SlowdownActionEvent,
     SocCrossingEvent,
@@ -229,6 +230,7 @@ __all__ = [
     "WakeEvent",
     "ConsolidationEvent",
     "DoDGoalEvent",
+    "PerfRegressionEvent",
     "CellStartEvent",
     "CellCacheHitEvent",
     "CellRetryEvent",

@@ -408,6 +408,18 @@ def default_rules() -> List[AlertRule]:
             threshold=0.899,
             direction="above",
         ),
+        AlertRule(
+            name="perf_regression",
+            description="benchmark metric fell outside its rolling baseline",
+            severity="warning",
+            # Observed value is the robust-sigma deviation computed by
+            # repro.perf.regression; threshold mirrors its
+            # DEVIATION_THRESHOLD (alerts cannot import perf — the perf
+            # CLI feeds this engine, not the other way around).
+            threshold=4.0,
+            direction="above",
+            renotify_s=0.0,
+        ),
     ]
 
 

@@ -373,8 +373,17 @@ def render_dashboard(summary: Dict[str, Any], ansi: bool = True) -> str:
 
 
 def write_summary(monitor: CampaignMonitor, path: str) -> Dict[str, Any]:
-    """Write ``campaign_summary.json``; returns the summary dict."""
+    """Write ``campaign_summary.json``; returns the summary dict.
+
+    The file gets a provenance ``meta`` block (git sha, timestamp, host
+    fingerprint) so a standalone summary is self-describing and the perf
+    history store (``repro perf record``) can ingest it without guessing
+    where it came from.
+    """
+    from repro.perf.meta import collect_meta
+
     summary = monitor.summary()
+    summary["meta"] = collect_meta()
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")

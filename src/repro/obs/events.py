@@ -508,6 +508,32 @@ class CampaignFinishEvent(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Perf observatory
+# ----------------------------------------------------------------------
+@dataclass
+class PerfRegressionEvent(TraceEvent):
+    """A benchmark metric fell outside its rolling perf-history baseline.
+
+    Emitted by ``repro perf check`` (:mod:`repro.perf.regression`) for
+    each confirmed regression: ``metric`` is the flattened series name
+    (``engine/n48/fleet_steps_per_s``), ``baseline``/``sigma`` the
+    robust median ± MAD window it was judged against, ``deviation`` how
+    many sigmas *worse* the new ``value`` is, ``direction`` which way is
+    better for this metric, and ``sha`` the commit that measured it.
+    """
+
+    metric: str = ""
+    value: float = 0.0
+    baseline: float = 0.0
+    sigma: float = 0.0
+    deviation: float = 0.0
+    direction: str = ""
+    sha: str = ""
+
+    kind: ClassVar[str] = "perf_regression"
+
+
+# ----------------------------------------------------------------------
 # Round-tripping
 # ----------------------------------------------------------------------
 def event_from_dict(data: Dict[str, Any]) -> TraceEvent:

@@ -1,0 +1,120 @@
+"""Provenance for perf records: who measured what, where, when.
+
+A benchmark number is only comparable to another measured on the same
+kind of machine with the same runtime — the rolling baselines in
+:mod:`repro.perf.regression` are therefore scoped by
+:func:`host_fingerprint` (hostname + platform + python + numpy), while
+``git_sha``/``branch``/``timestamp`` pin each record to the code it
+measured. :func:`collect_meta` is deliberately dependency-free and
+failure-tolerant: outside a git checkout every field degrades to a
+placeholder rather than raising, so bench payloads stay writable from
+any working directory.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+import time
+from typing import Dict, Optional
+
+#: Environment variable overriding the default history file location.
+HISTORY_ENV = "REPRO_PERF_HISTORY"
+
+#: Environment variable overriding the recorded hostname. Ephemeral CI
+#: runners get a random hostname per run, which would put every run on
+#: its own baseline; CI sets this to a stable label instead.
+HOST_ENV = "REPRO_PERF_HOST"
+
+#: Default on-disk location of the perf history (CI caches this file).
+DEFAULT_HISTORY_FILE = "perf-history.jsonl"
+
+
+def default_history_path() -> str:
+    """The history file ``repro perf`` uses when ``--history`` is absent."""
+    return os.environ.get(HISTORY_ENV, DEFAULT_HISTORY_FILE)
+
+
+def _git(*args: str) -> Optional[str]:
+    """One git plumbing call; ``None`` on any failure (no git, no repo)."""
+    try:
+        proc = subprocess.run(
+            ("git",) + args,
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    out = proc.stdout.strip()
+    return out if proc.returncode == 0 and out else None
+
+
+def git_sha() -> str:
+    """HEAD commit sha (``GITHUB_SHA`` fallback; ``""`` when unknown)."""
+    return _git("rev-parse", "HEAD") or os.environ.get("GITHUB_SHA", "")
+
+
+def git_branch() -> str:
+    """Current branch name (``GITHUB_REF_NAME`` fallback)."""
+    branch = _git("rev-parse", "--abbrev-ref", "HEAD")
+    if branch and branch != "HEAD":  # detached HEAD: fall through to env
+        return branch
+    return os.environ.get("GITHUB_REF_NAME", branch or "")
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return ""
+    return numpy.__version__
+
+
+def _hostname() -> str:
+    return os.environ.get(HOST_ENV) or socket.gethostname()
+
+
+def host_fingerprint(meta: Optional[Dict[str, str]] = None) -> str:
+    """Comparability key: records sharing it can baseline each other.
+
+    Built from hostname, OS/architecture, and the python/numpy *feature*
+    versions (major.minor — patch releases do not shift performance
+    enough to split a baseline, while an interpreter or BLAS generation
+    change does).
+    """
+    if meta is not None and meta.get("fingerprint"):
+        return meta["fingerprint"]
+    if meta is not None:
+        host = meta.get("host", "")
+        plat = meta.get("platform", "")
+        python = meta.get("python", "")
+        numpy_v = meta.get("numpy", "")
+    else:
+        host = _hostname()
+        plat = f"{platform.system()}-{platform.machine()}"
+        python = platform.python_version()
+        numpy_v = _numpy_version()
+
+    def feature(version: str) -> str:
+        return ".".join(version.split(".")[:2]) if version else "?"
+
+    return f"{host}|{plat}|py{feature(python)}|np{feature(numpy_v)}"
+
+
+def collect_meta() -> Dict[str, str]:
+    """The ``meta`` block stamped into every bench payload and record."""
+    meta = {
+        "git_sha": git_sha(),
+        "branch": git_branch(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": _hostname(),
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+    }
+    meta["fingerprint"] = host_fingerprint(meta)
+    return meta

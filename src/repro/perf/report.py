@@ -1,0 +1,166 @@
+"""Terminal rendering for the ``repro perf`` CLI family.
+
+Pure formatting — every function takes already-computed data and returns
+a string, so the CLI handlers stay thin and the renderers are trivially
+unit-testable. Sparklines use the eight-level block ramp; tables are
+plain fixed-width text (no external dependencies, readable in CI logs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.regression import ChangePoint, CheckResult, metric_direction
+from repro.perf.store import PerfRecord
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Printed by ``repro perf check`` when there is nothing to judge yet;
+#: tests and CI grep for this exact phrase.
+COLD_START_MESSAGE = "no baseline yet, recorded only"
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Eight-level ASCII sparkline; long series are tail-truncated."""
+    if not values:
+        return ""
+    values = list(values)[-width:]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(values)
+    scale = (len(_BLOCKS) - 1) / span
+    return "".join(_BLOCKS[int((v - lo) * scale)] for v in values)
+
+
+def _short_sha(record: PerfRecord) -> str:
+    return record.sha[:9] if record.sha else "-"
+
+
+def render_history(
+    metric: str,
+    pairs: Sequence[Tuple[PerfRecord, float]],
+    change: Optional[ChangePoint] = None,
+    limit: int = 15,
+) -> str:
+    """Sparkline plus a table of the series' most recent points."""
+    if not pairs:
+        return f"no recorded values for metric {metric!r}"
+    values = [v for _, v in pairs]
+    direction = metric_direction(metric) or "info"
+    lines = [
+        f"{metric}  ({len(values)} record(s), better={direction})",
+        f"  {sparkline(values)}",
+        f"  min {_fmt(min(values))}  median "
+        f"{_fmt(sorted(values)[len(values) // 2])}  max {_fmt(max(values))}",
+    ]
+    if change is not None:
+        record, _ = pairs[change.index]
+        lines.append(
+            f"  change-point at {_short_sha(record)} "
+            f"({record.timestamp or 'unknown time'}): "
+            f"{_fmt(change.before)} -> {_fmt(change.after)} "
+            f"({change.score:.1f} sigma)"
+        )
+    lines.append(f"  last {min(limit, len(pairs))} of {len(pairs)}:")
+    lines.append("    sha        timestamp             value")
+    for record, value in pairs[-limit:]:
+        lines.append(
+            f"    {_short_sha(record):<10} "
+            f"{record.timestamp or '-':<21} {_fmt(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_metric_list(names: Sequence[str]) -> str:
+    """The ``repro perf history`` index when no metric is given."""
+    if not names:
+        return "history is empty — record a payload first"
+    lines = [f"{len(names)} metric(s) with history:"]
+    lines.extend(f"  {name}" for name in names)
+    return "\n".join(lines)
+
+
+def render_check(result: CheckResult) -> str:
+    """Human-readable verdict of one ``repro perf check``."""
+    lines: List[str] = []
+    if result.candidate is not None and result.candidate.sha:
+        lines.append(
+            f"checking {_short_sha(result.candidate)} "
+            f"on {result.fingerprint or 'unknown host'}"
+        )
+    if result.cold and not result.no_baseline:
+        lines.append(f"history is empty: {COLD_START_MESSAGE}")
+        return "\n".join(lines)
+    if result.no_baseline:
+        lines.append(
+            f"{len(result.no_baseline)} metric(s) without enough history "
+            f"({COLD_START_MESSAGE})"
+        )
+    if result.checks:
+        lines.append(f"{len(result.checks)} metric(s) checked against baseline")
+    for check in result.regressions:
+        lines.append(
+            f"REGRESSION {check.metric}: {_fmt(check.value)} vs baseline "
+            f"median {_fmt(check.median)} (n={check.n_baseline}) — "
+            f"{check.deviation:.1f} sigma / {check.rel_change * 100.0:.0f}% "
+            f"worse (better={check.direction})"
+        )
+        if check.change is not None:
+            lines.append(
+                f"  trend: level shift {_fmt(check.change.before)} -> "
+                f"{_fmt(check.change.after)} at point {check.change.index} "
+                f"of the series ({check.change.score:.1f} sigma)"
+            )
+    if result.ok:
+        if result.cold:
+            lines.append(f"ok: {COLD_START_MESSAGE}")
+        else:
+            lines.append("ok: no regressions outside baseline")
+    else:
+        lines.append(f"FAIL: {len(result.regressions)} metric(s) regressed")
+    return "\n".join(lines)
+
+
+def render_diff(
+    sha_a: str,
+    sha_b: str,
+    metrics_a: Dict[str, float],
+    metrics_b: Dict[str, float],
+) -> str:
+    """Metric-by-metric comparison of two recorded shas.
+
+    ``<`` / ``>`` markers flag which side is *worse* for metrics with a
+    known direction; shared metrics only (a sha missing a metric simply
+    never ran that bench).
+    """
+    shared = sorted(set(metrics_a) & set(metrics_b))
+    if not shared:
+        return f"no shared metrics between {sha_a[:9]} and {sha_b[:9]}"
+    width = max(len(m) for m in shared)
+    lines = [
+        f"{len(shared)} shared metric(s), {sha_a[:9]} vs {sha_b[:9]}:",
+        f"  {'metric':<{width}}  {'A':>12}  {'B':>12}  {'delta%':>8}",
+    ]
+    for metric in shared:
+        a, b = metrics_a[metric], metrics_b[metric]
+        rel = (b - a) / max(abs(a), 1e-12) * 100.0
+        direction = metric_direction(metric)
+        marker = ""
+        if direction == "lower" and b > a:
+            marker = "  B worse"
+        elif direction == "lower" and b < a:
+            marker = "  B better"
+        elif direction == "higher" and b < a:
+            marker = "  B worse"
+        elif direction == "higher" and b > a:
+            marker = "  B better"
+        lines.append(
+            f"  {metric:<{width}}  {_fmt(a):>12}  {_fmt(b):>12}  "
+            f"{rel:>+7.1f}%{marker}"
+        )
+    return "\n".join(lines)

@@ -175,6 +175,36 @@ class TestObservabilityCommands:
         assert main(["stats", "--day", "sunny", "--dt", "300", "--profile"]) == 0
         out = capsys.readouterr().out
         assert "profile (top 15 by cumulative time):" in out
+        # leaf view: the array kernels surface by internal time too
+        assert "profile (top 15 by tottime):" in out
+
+    def test_profile_dump_to_file(self, tmp_path, capsys):
+        import pstats
+
+        target = tmp_path / "run.pstats"
+        assert main(
+            ["stats", "--day", "sunny", "--dt", "300",
+             "--profile", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"profile written to {target}" in out
+        assert "by cumulative time" not in out  # dump replaces the print
+        stats = pstats.Stats(str(target))  # loadable by pstats tooling
+        assert stats.total_calls > 0
+
+    def test_profile_file_with_trace_prints_both_lines(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "run.pstats"
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["compare", "--day", "sunny", "--dt", "300", "--days", "1",
+             "--trace", str(trace), "--profile", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry event(s)" in out
+        assert f"profile written to {target}" in out
+        assert target.exists()
 
 
 class TestProvenanceCommands:
