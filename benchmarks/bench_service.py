@@ -1,0 +1,370 @@
+"""Bench: the campaign service must share work across concurrent clients.
+
+``repro serve`` exists so that N users (or N CI shards) sweeping the
+same grid cost one simulation per unique cell, not N. This bench starts
+a real daemon subprocess with a private cache, then drives it through
+three phases:
+
+- **dedupe** — :data:`N_CLIENTS` clients submit the *same* campaign at
+  the same instant (a barrier releases them together). The daemon must
+  execute each unique cell exactly once; every other submission must be
+  served by joining the in-flight execution (``dedupe_hits``) or, if it
+  arrives after the holder finished, from the shared cache;
+- **cache** — one client resubmits the campaign; every cell must come
+  back as a cache hit;
+- **throughput** — :data:`N_CLIENTS` clients submit campaigns with
+  distinct seeds (no sharing possible), measuring end-to-end cells/s
+  through the daemon including wire overhead.
+
+Per-cell submit-to-result latency (client-side: submit write to
+``cell_result`` line arrival) is quantiled across the dedupe and
+throughput phases.
+
+Acceptance (gated in CI like ``BENCH_engine.json``):
+
+- ``ok_single_execution`` — the daemon executed exactly the unique cell
+  count during the dedupe phase (the core sharing invariant);
+- ``ok_shared`` — every follower submission was served by dedupe or
+  cache, never by a duplicate execution;
+- ``ok_dedupe`` — at least one submission joined an in-flight cell
+  (the barrier makes this deterministic in practice);
+- ``ok_cache_hits`` — the resubmission was served entirely from cache;
+- ``ok_latency`` — p99 submit-to-result latency stays under
+  :data:`MAX_P99_SUBMIT_S` (a sanity ceiling, not a tight bound).
+
+Run standalone (``python benchmarks/bench_service.py --json
+BENCH_service.json``), with ``--quick`` for the reduced CI matrix, or
+through pytest (``pytest benchmarks/bench_service.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from time import perf_counter
+
+from repro.service import ServiceClient, build_specs, wait_for_socket
+
+#: Concurrent clients in the dedupe and throughput phases.
+N_CLIENTS = 4
+
+#: Client count under ``--quick`` (the CI matrix).
+QUICK_CLIENTS = 2
+
+#: Worker processes the daemon is started with.
+N_WORKERS = 2
+
+#: p99 submit-to-result ceiling (s). Generous: it guards against the
+#: daemon serializing clients or losing cells, not against machine load.
+MAX_P99_SUBMIT_S = 60.0
+
+#: The shared campaign: two policies, one cloudy day, dt chosen so a
+#: cell is ~0.25 s — long enough that simultaneous submissions overlap.
+BASE_CAMPAIGN = {"policies": "e-buff,baat", "days": 1, "dt": 300.0}
+
+
+def _quantile(samples: list, q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class _Daemon:
+    """One ``repro serve`` subprocess with a private cache directory."""
+
+    def __init__(self, workers: int = N_WORKERS):
+        self.tmp = tempfile.TemporaryDirectory(prefix="bench-service-")
+        self.socket_path = os.path.join(self.tmp.name, "serve.sock")
+        self.cache_dir = os.path.join(self.tmp.name, "cache")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--socket",
+                self.socket_path,
+                "--cache-dir",
+                self.cache_dir,
+                "--workers",
+                str(workers),
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        wait_for_socket(self.socket_path, timeout_s=30.0)
+
+    def stats(self) -> dict:
+        with ServiceClient(socket_path=self.socket_path, timeout_s=30) as c:
+            return c.status()["stats"]
+
+    def stop(self) -> None:
+        try:
+            with ServiceClient(
+                socket_path=self.socket_path, timeout_s=10
+            ) as c:
+                c.shutdown()
+            self.proc.wait(timeout=10)
+        except Exception:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+        finally:
+            self.tmp.cleanup()
+
+
+def _submit_collect(
+    socket_path: str,
+    campaign: dict,
+    barrier: threading.Barrier,
+    out: list,
+    slot: int,
+) -> None:
+    """One client thread: submit, record per-cell latencies + summary."""
+    try:
+        with ServiceClient(socket_path=socket_path, timeout_s=300) as client:
+            barrier.wait(timeout=60)
+            t0 = perf_counter()
+            latencies = []
+            done = None
+            for line in client.submit(campaign):
+                if line.get("kind") == "cell_result":
+                    latencies.append(perf_counter() - t0)
+                elif line.get("kind") in ("service_done", "service_error"):
+                    done = line
+            out[slot] = (done, latencies, perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 - surfaced by the caller
+        out[slot] = (exc, [], 0.0)
+
+
+def _fan_out(socket_path: str, campaigns: list) -> tuple:
+    """Run one campaign per thread, released simultaneously.
+
+    Returns (per-client ``service_done`` dicts, all cell latencies,
+    wall seconds from release to last client done).
+    """
+    barrier = threading.Barrier(len(campaigns) + 1)
+    out: list = [None] * len(campaigns)
+    threads = [
+        threading.Thread(
+            target=_submit_collect,
+            args=(socket_path, campaign, barrier, out, i),
+        )
+        for i, campaign in enumerate(campaigns)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=60)
+    t0 = perf_counter()
+    for t in threads:
+        t.join(timeout=300)
+    wall_s = perf_counter() - t0
+    dones, latencies = [], []
+    for done, lats, _ in out:
+        if isinstance(done, Exception):
+            raise done
+        if done is None or done.get("kind") != "service_done":
+            raise RuntimeError(f"campaign submission failed: {done}")
+        dones.append(done)
+        latencies.extend(lats)
+    return dones, latencies, wall_s
+
+
+def _unique_cells(campaign: dict) -> int:
+    keys = {spec.cache_key() for spec in build_specs(campaign)}
+    keys.discard(None)
+    return len(keys)
+
+
+def measure(quick: bool = False) -> dict:
+    """Drive one daemon through the dedupe / cache / throughput phases."""
+    n_clients = QUICK_CLIENTS if quick else N_CLIENTS
+    n_unique = _unique_cells(BASE_CAMPAIGN)
+    daemon = _Daemon()
+    try:
+        # Phase 1: identical campaigns, simultaneous release.
+        dones, lat_a, wall_a = _fan_out(
+            daemon.socket_path, [dict(BASE_CAMPAIGN)] * n_clients
+        )
+        stats_a = daemon.stats()
+        submitted_a = n_clients * n_unique
+        dedupe_row = {
+            "n_clients": n_clients,
+            "n_submitted": submitted_a,
+            "n_unique": n_unique,
+            "executed": stats_a["executed"],
+            "dedupe_hits": stats_a["dedupe_hits"],
+            "cache_hits": stats_a["cache_hits"],
+            "failed": stats_a["failed"],
+            "wall_s": wall_a,
+        }
+
+        # Phase 2: one client resubmits; everything must be cached.
+        dones_b, _, wall_b = _fan_out(
+            daemon.socket_path, [dict(BASE_CAMPAIGN)]
+        )
+        stats_b = daemon.stats()
+        cache_row = {
+            "n_submitted": n_unique,
+            "executed": stats_b["executed"] - stats_a["executed"],
+            "cache_hits": stats_b["cache_hits"] - stats_a["cache_hits"],
+            "dedupe_hits": stats_b["dedupe_hits"] - stats_a["dedupe_hits"],
+            "cached_reported": dones_b[0]["cached"],
+            "wall_s": wall_b,
+        }
+
+        # Phase 3: distinct seeds — no sharing; raw daemon throughput.
+        campaigns = [
+            {**BASE_CAMPAIGN, "seed": 1000 + i} for i in range(n_clients)
+        ]
+        _, lat_c, wall_c = _fan_out(daemon.socket_path, campaigns)
+        stats_c = daemon.stats()
+        executed_c = stats_c["executed"] - stats_b["executed"]
+        throughput_row = {
+            "n_clients": n_clients,
+            "n_submitted": n_clients * n_unique,
+            "executed": executed_c,
+            "wall_s": wall_c,
+            "cells_per_s": executed_c / wall_c if wall_c > 0 else 0.0,
+        }
+        final_stats = stats_c
+    finally:
+        daemon.stop()
+
+    latencies = lat_a + lat_c
+    return {
+        "n_clients": n_clients,
+        "n_workers": N_WORKERS,
+        "campaign": dict(BASE_CAMPAIGN),
+        "dedupe": dedupe_row,
+        "cache": cache_row,
+        "throughput": throughput_row,
+        "cells_per_s": throughput_row["cells_per_s"],
+        "cache_hit_rate": (
+            cache_row["cache_hits"] / cache_row["n_submitted"]
+            if cache_row["n_submitted"]
+            else 0.0
+        ),
+        "dedupe_rate": (
+            dedupe_row["dedupe_hits"] / (submitted_a - n_unique)
+            if submitted_a > n_unique
+            else 0.0
+        ),
+        "submit_p50_s": _quantile(latencies, 0.50),
+        "submit_p95_s": _quantile(latencies, 0.95),
+        "submit_p99_s": _quantile(latencies, 0.99),
+        "daemon_stats": final_stats,
+    }
+
+
+def report(results: dict) -> str:
+    dd, ca, th = results["dedupe"], results["cache"], results["throughput"]
+    return "\n".join(
+        [
+            f"service bench: {results['n_clients']} clients, "
+            f"{results['n_workers']} workers, campaign {results['campaign']}",
+            f"  dedupe:     {dd['n_submitted']} cells submitted -> "
+            f"{dd['executed']} executed, {dd['dedupe_hits']} deduped, "
+            f"{dd['cache_hits']} cache hits in {dd['wall_s']:.3f} s",
+            f"  cache:      {ca['n_submitted']} cells resubmitted -> "
+            f"{ca['cache_hits']} cache hits, {ca['executed']} executed "
+            f"in {ca['wall_s']:.3f} s",
+            f"  throughput: {th['n_submitted']} unique cells -> "
+            f"{th['cells_per_s']:.2f} cells/s ({th['wall_s']:.3f} s)",
+            f"  latency:    p50 {results['submit_p50_s'] * 1e3:.1f} ms, "
+            f"p95 {results['submit_p95_s'] * 1e3:.1f} ms, "
+            f"p99 {results['submit_p99_s'] * 1e3:.1f} ms",
+        ]
+    )
+
+
+def payload(results: dict) -> dict:
+    """The machine-readable form (``BENCH_service.json``)."""
+    dd, ca = results["dedupe"], results["cache"]
+    followers = dd["n_submitted"] - dd["n_unique"]
+    ok_single = dd["executed"] == dd["n_unique"] and dd["failed"] == 0
+    ok_shared = dd["dedupe_hits"] + dd["cache_hits"] == followers
+    ok_dedupe = dd["dedupe_hits"] >= 1
+    ok_cache = (
+        ca["cache_hits"] == ca["n_submitted"] and ca["executed"] == 0
+    )
+    ok_latency = results["submit_p99_s"] <= MAX_P99_SUBMIT_S
+    return {
+        **results,
+        "max_p99_submit_s": MAX_P99_SUBMIT_S,
+        "ok_single_execution": ok_single,
+        "ok_shared": ok_shared,
+        "ok_dedupe": ok_dedupe,
+        "ok_cache_hits": ok_cache,
+        "ok_latency": ok_latency,
+        "ok": ok_single and ok_shared and ok_dedupe and ok_cache and ok_latency,
+    }
+
+
+GATES = (
+    "ok_single_execution",
+    "ok_shared",
+    "ok_dedupe",
+    "ok_cache_hits",
+    "ok_latency",
+)
+
+
+def test_service_concurrency(record_property):
+    results = measure(quick=True)
+    print()
+    print(report(results))
+    data = payload(results)
+    record_property("service_bench", data)
+    for gate in GATES:
+        assert data[gate], f"service bench gate {gate} failed: {data}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the measurements as JSON (the BENCH_service.json shape)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI matrix: {QUICK_CLIENTS} clients instead of {N_CLIENTS}",
+    )
+    parser.add_argument(
+        "--perf-history", default=None, metavar="PATH",
+        help="also append the measurements to a perf-history JSONL "
+        "(see 'repro perf')",
+    )
+    args = parser.parse_args(argv)
+    results = measure(quick=args.quick)
+    print(report(results))
+    data = payload(results)
+    from repro.perf import PerfHistory, collect_meta
+
+    document = {"service_bench": data, "meta": collect_meta()}
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+    if args.perf_history:
+        record = PerfHistory(args.perf_history).record_payload(document)
+        print(
+            f"recorded {len(record.metrics)} metric(s) to {args.perf_history}"
+        )
+    if not data["ok"]:
+        failed = [gate for gate in GATES if not data[gate]]
+        print(
+            f"FAIL: service bench gates failed: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

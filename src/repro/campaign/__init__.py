@@ -41,15 +41,20 @@ from repro.campaign.runner import (
     set_default_workers,
 )
 from repro.campaign.spec import RunSpec
+from repro.campaign.store import CacheStore, DirStore, SqliteStore, make_store
 
 __all__ = [
+    "CacheStore",
     "CampaignError",
     "CampaignReport",
     "DEFAULT_CACHE",
+    "DirStore",
     "ResultCache",
     "RunOutcome",
     "RunSpec",
+    "SqliteStore",
     "canonical",
+    "make_store",
     "configure_cache",
     "default_cache",
     "default_cache_dir",

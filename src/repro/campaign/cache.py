@@ -15,12 +15,17 @@ value, callables by module-qualified name (plus bound arguments for
 a lambda, a closure — yields no key, and the campaign runner simply runs
 that spec uncached.
 
+Storage is pluggable (see :mod:`repro.campaign.store`): the default
+flat-dir layout or a single-writer sqlite database, selected per path
+suffix, ``REPRO_CACHE_BACKEND``, or :func:`configure_cache`.
+
 Environment knobs (all overridable through :func:`configure_cache`):
 
 - ``REPRO_CACHE_DIR`` — cache directory (default
   ``~/.cache/repro-baat/campaign``);
 - ``REPRO_CAMPAIGN_CACHE=0`` (or ``off``/``false``/``no``) — disable the
-  default cache entirely.
+  default cache entirely;
+- ``REPRO_CACHE_BACKEND`` — ``dir`` or ``sqlite``.
 """
 
 from __future__ import annotations
@@ -31,12 +36,12 @@ import functools
 import hashlib
 import os
 import pickle
-import tempfile
 from pathlib import Path
-from typing import Any, Iterator, Optional, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.campaign.store import CacheStore, DirStore, make_store
 from repro.errors import ConfigurationError
 
 PathLike = Union[str, Path]
@@ -52,6 +57,7 @@ _OFF_VALUES = ("0", "off", "false", "no")
 # Process-wide overrides set by configure_cache() (CLI / bench harness).
 _override_dir: Optional[Path] = None
 _override_enabled: Optional[bool] = None
+_override_backend: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -171,105 +177,127 @@ def object_key(*parts: Any) -> str:
 # The disk cache
 # ----------------------------------------------------------------------
 class ResultCache:
-    """A flat directory of pickled payloads keyed by content hash."""
+    """Pickled payloads keyed by content hash, over a pluggable store.
 
-    def __init__(self, path: PathLike):
+    The default store keeps the historical flat-dir layout (one
+    ``<key>.pkl`` per entry); pass ``backend="sqlite"`` (or a path with
+    a ``.sqlite``/``.db`` suffix, or set ``REPRO_CACHE_BACKEND``) for a
+    single-file database suited to daemon-shared caches. Hit/miss
+    accounting, key validation and (un)pickling live here; the store
+    only moves bytes.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        backend: Optional[str] = None,
+        store: Optional[CacheStore] = None,
+    ):
         self.path = Path(path)
+        self.store = store if store is not None else make_store(path, backend)
         self.hits = 0
         self.misses = 0
 
     # -- internals ------------------------------------------------------
-    def _file_for(self, key: str) -> Path:
+    def _check_key(self, key: str) -> str:
         if not key or any(c not in "0123456789abcdef" for c in key):
             raise ConfigurationError(f"malformed cache key {key!r}")
-        return self.path / f"{key}.pkl"
+        return key
+
+    def _file_for(self, key: str) -> Path:
+        """Per-entry file path (dir-backed caches only)."""
+        self._check_key(key)
+        if not isinstance(self.store, DirStore):
+            raise ConfigurationError(
+                f"{self.store.backend!r}-backed caches have no per-entry files"
+            )
+        return self.store._file_for(key)
+
+    @property
+    def backend(self) -> str:
+        return self.store.backend
 
     # -- API ------------------------------------------------------------
-    def get(self, key: str) -> Optional[Any]:
+    def get(self, key: str, expect: Optional[type] = None) -> Optional[Any]:
         """Return the cached payload for ``key``, or ``None`` on a miss.
 
         A corrupt entry (truncated write, incompatible pickle) is deleted
-        and reported as a miss rather than poisoning the campaign.
+        and reported as a miss rather than poisoning the campaign. When
+        ``expect`` is given, a payload of any other type gets the same
+        treatment — otherwise a stale or foreign entry under a colliding
+        key would be "hit" on every campaign yet silently re-run.
         """
-        file = self._file_for(key)
-        try:
-            with open(file, "rb") as fh:
-                payload = pickle.load(fh)
-        except FileNotFoundError:
+        self._check_key(key)
+        blob = self.store.load(key)
+        if blob is None:
             self.misses += 1
             return None
+        try:
+            payload = pickle.loads(blob)
         except Exception:
-            file.unlink(missing_ok=True)
+            self.store.delete(key)
+            self.misses += 1
+            return None
+        if expect is not None and not isinstance(payload, expect):
+            self.store.delete(key)
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: Any) -> None:
-        """Store ``payload`` under ``key`` atomically (write + rename)."""
-        self.path.mkdir(parents=True, exist_ok=True)
-        file = self._file_for(key)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:12]}-", suffix=".tmp", dir=self.path
-        )
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, file)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        """Store ``payload`` under ``key`` atomically and durably."""
+        self._check_key(key)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self.store.save(key, blob)
 
     def __contains__(self, key: str) -> bool:
-        return self._file_for(key).exists()
-
-    def _entries(self) -> Iterator[Path]:
-        if not self.path.is_dir():
-            return iter(())
-        return iter(sorted(self.path.glob("*.pkl")))
+        self._check_key(key)
+        return self.store.load(key) is not None
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._entries())
+        return len(self.store)
 
     def size_bytes(self) -> int:
         """Total bytes held by cache entries."""
-        return sum(f.stat().st_size for f in self._entries())
+        return self.store.size_bytes()
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
-        removed = 0
-        for f in self._entries():
-            f.unlink(missing_ok=True)
-            removed += 1
-        return removed
+        return self.store.clear()
+
+    def close(self) -> None:
+        self.store.close()
 
 
 # ----------------------------------------------------------------------
 # Default-cache resolution
 # ----------------------------------------------------------------------
 def configure_cache(
-    enabled: Optional[bool] = None, directory: Optional[PathLike] = None
+    enabled: Optional[bool] = None,
+    directory: Optional[PathLike] = None,
+    backend: Optional[str] = None,
 ) -> None:
     """Process-wide default-cache overrides (CLI flags, bench harness).
 
     ``None`` leaves the corresponding setting untouched; the environment
     variables still apply where no override is set.
     """
-    global _override_enabled, _override_dir
+    global _override_enabled, _override_dir, _override_backend
     if enabled is not None:
         _override_enabled = bool(enabled)
     if directory is not None:
         _override_dir = Path(directory)
+    if backend is not None:
+        _override_backend = backend
 
 
 def reset_cache_config() -> None:
     """Drop :func:`configure_cache` overrides (used by tests)."""
-    global _override_enabled, _override_dir
+    global _override_enabled, _override_dir, _override_backend
     _override_enabled = None
     _override_dir = None
+    _override_backend = None
 
 
 def default_cache_dir() -> Path:
@@ -290,4 +318,4 @@ def default_cache() -> Optional[ResultCache]:
         env = os.environ.get(_ENV_ENABLED, "").strip().lower()
         if env in _OFF_VALUES:
             return None
-    return ResultCache(default_cache_dir())
+    return ResultCache(default_cache_dir(), backend=_override_backend)

@@ -29,6 +29,7 @@ import os
 import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -127,6 +128,9 @@ class CampaignReport:
     n_workers: int
     wall_s: float
     cache_dir: Optional[str] = None
+    #: cells that cannot have a cache key (closure-built policies);
+    #: they are neither hits nor misses in the probe accounting.
+    n_uncacheable: int = 0
 
     @property
     def n_cache_hits(self) -> int:
@@ -174,10 +178,17 @@ class CampaignReport:
         )
 
     def cache_summary_line(self) -> str:
-        """Hit/miss accounting for the cache probe phase."""
-        misses = len(self.outcomes) - self.n_cache_hits
+        """Hit/miss accounting for the cache probe phase.
+
+        Uncacheable cells (no key, so they can never hit) are reported
+        in their own bucket rather than inflating the miss count.
+        """
+        misses = len(self.outcomes) - self.n_cache_hits - self.n_uncacheable
         where = f" ({self.cache_dir})" if self.cache_dir else " (cache disabled)"
-        return f"cache: {self.n_cache_hits} hit(s), {misses} miss(es){where}"
+        extra = (
+            f", {self.n_uncacheable} uncacheable" if self.n_uncacheable else ""
+        )
+        return f"cache: {self.n_cache_hits} hit(s), {misses} miss(es){extra}{where}"
 
     def per_cell_lines(self) -> List[str]:
         """Per-cell accounting: wall time, attempts, and result source."""
@@ -348,13 +359,21 @@ def run_campaign(
         )
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     pending: List[Tuple[int, RunSpec, Optional[str]]] = []
+    n_hits = 0
+    n_uncacheable = 0
 
     # Phase 1: cache probe.
     for i, spec in enumerate(specs):
         key = spec.cache_key() if resolved_cache is not None else None
+        if resolved_cache is not None and key is None:
+            n_uncacheable += 1
         if key is not None:
-            hit = resolved_cache.get(key)
-            if isinstance(hit, SimResult):
+            # expect= makes a wrong-type payload behave like a corrupt
+            # entry (evicted, counted as a miss) instead of a "hit"
+            # whose cell silently re-runs every campaign.
+            hit = resolved_cache.get(key, expect=SimResult)
+            if hit is not None:
+                n_hits += 1
                 outcomes[i] = RunOutcome(
                     spec=spec, result=hit, from_cache=True, attempts=0
                 )
@@ -370,19 +389,26 @@ def run_campaign(
                 continue
         pending.append((i, spec, key))
     # Miss accounting is only meaningful when a cache is actually in
-    # use: with cache=None every cell is trivially "uncached" and the
-    # storm alert would fire on every uncached campaign.
+    # use, and only over *keyed* specs: with cache=None every cell is
+    # trivially "uncached", and an uncacheable spec (closure-built
+    # policy, key=None) can never hit — counting those as misses would
+    # read a sweep of lambda policies as a 100% miss storm.
     if resolved_cache is not None:
-        if REGISTRY.enabled and pending:
-            REGISTRY.counter("campaign/cache_misses").inc(len(pending))
-        if ALERTS.enabled and len(specs) >= 4:
-            # A near-zero hit rate across a sizeable campaign usually
-            # means a source fingerprint drifted and the whole cache
-            # silently expired.
+        keyed_misses = sum(1 for _, _, k in pending if k is not None)
+        if REGISTRY.enabled:
+            if keyed_misses:
+                REGISTRY.counter("campaign/cache_misses").inc(keyed_misses)
+            if n_uncacheable:
+                REGISTRY.counter("campaign/uncacheable").inc(n_uncacheable)
+        n_keyed = keyed_misses + n_hits
+        if ALERTS.enabled and n_keyed >= 4:
+            # A near-zero hit rate across a sizeable keyed campaign
+            # usually means a source fingerprint drifted and the whole
+            # cache silently expired.
             ALERTS.observe(
                 "cache_miss_storm",
                 "campaign",
-                len(pending) / len(specs),
+                keyed_misses / n_keyed,
                 time.perf_counter() - t0,
             )
 
@@ -408,97 +434,167 @@ def run_campaign(
                 return pool.submit(_execute_spec_captured, spec, cfg)
             return pool.submit(_execute_spec, spec)
 
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pool_jobs)),
-            initializer=sanitize_forked_worker,
-        ) as pool:
-            states = {}
-            not_done = set()
-            for i, spec, key in pool_jobs:
-                span_id = 0
-                if traced:
-                    # The cell span opens at submission and closes at
-                    # final completion, bracketing every attempt; the
-                    # replayed worker events re-anchor under it.
-                    span_id = SPANS.start(
-                        "campaign_cell",
-                        node=spec.effective_label,
+        # Each queued job carries the full retry state of one cell —
+        # (i, spec, key, genuine, strikes, errors, started, span_id) —
+        # so a pool rebuild after a hard worker death resumes exactly
+        # where the broken round stopped. ``genuine`` counts real cell
+        # failures, ``strikes`` counts broken-pool incidents; each has
+        # its own ``retries`` budget, so infrastructure deaths neither
+        # abort the campaign nor consume a cell's genuine retries (and
+        # a persistently pool-killing cell still terminates).
+        queue: List[Tuple] = []
+        for i, spec, key in pool_jobs:
+            span_id = 0
+            if traced:
+                # The cell span opens at submission and closes at final
+                # completion, bracketing every attempt (and any pool
+                # rebuild in between); the replayed worker events
+                # re-anchor under it.
+                span_id = SPANS.start(
+                    "campaign_cell",
+                    node=spec.effective_label,
+                    t=time.perf_counter() - t0,
+                    scope="campaign",
+                )
+            if BUS.enabled:
+                BUS.emit(
+                    CellStartEvent(
                         t=time.perf_counter() - t0,
-                        scope="campaign",
+                        label=spec.effective_label,
+                        span_id=span_id,
                     )
-                fut = _submit(pool, spec)
-                states[fut] = (i, spec, key, 1, (), time.perf_counter(), span_id)
-                not_done.add(fut)
-                if BUS.enabled:
-                    BUS.emit(
-                        CellStartEvent(
-                            t=time.perf_counter() - t0,
-                            label=spec.effective_label,
-                            span_id=span_id,
-                        )
+                )
+            queue.append((i, spec, key, 0, 0, (), time.perf_counter(), span_id))
+
+        def _finish_pooled(job, result, cell_capture) -> None:
+            """Final completion of a pooled cell (success or exhausted)."""
+            i, spec, key, genuine, strikes, errors, started, span_id = job
+            if traced:
+                if cell_capture is not None and result is not None:
+                    _emit_cell_health(
+                        spec.effective_label,
+                        cell_capture.health,
+                        time.perf_counter() - t0,
+                        span_id,
                     )
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    (
-                        i, spec, key, attempt, errors, started, span_id,
-                    ) = states.pop(fut)
-                    result: Optional[SimResult] = None
-                    error: Optional[str] = None
-                    capture: Optional[CellCapture] = None
-                    try:
-                        if traced:
-                            result, error, capture = fut.result()
+                SPANS.end(
+                    "campaign_cell",
+                    node=spec.effective_label,
+                    t=time.perf_counter() - t0,
+                )
+            attempts = genuine + strikes + (1 if result is not None else 0)
+            duration = time.perf_counter() - started
+            _finish_cell(spec, result, attempts, duration, t0)
+            fresh.append((i, spec, key, result, attempts, errors, duration))
+
+        def _record_failure(job, error: str, pool_died: bool):
+            """Fold one failed submission into the job's retry state.
+
+            Returns the updated job when budget remains, else finalizes
+            the cell as failed and returns ``None``.
+            """
+            i, spec, key, genuine, strikes, errors, started, span_id = job
+            errors = errors + (error,)
+            if pool_died:
+                strikes += 1
+                retryable = strikes <= retries
+            else:
+                genuine += 1
+                retryable = genuine <= retries
+            job = (i, spec, key, genuine, strikes, errors, started, span_id)
+            if not retryable:
+                _finish_pooled(job, None, None)
+                return None
+            if BUS.enabled:
+                BUS.emit(
+                    CellRetryEvent(
+                        t=time.perf_counter() - t0,
+                        label=spec.effective_label,
+                        attempt=genuine + strikes,
+                        error=error,
+                        span_id=span_id,
+                    )
+                )
+            return job
+
+        while queue:
+            jobs, queue = queue, []
+            broken = False
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(jobs)),
+                initializer=sanitize_forked_worker,
+            ) as pool:
+                states = {}
+                not_done = set()
+                for job in jobs:
+                    if not broken:
+                        try:
+                            fut = _submit(pool, job[1])
+                        except BrokenProcessPool as exc:
+                            broken = True
+                            error = _error_string(exc)
                         else:
-                            result = fut.result()
-                    except Exception as exc:  # noqa: BLE001 - retried below
-                        error = _error_string(exc)
-                    if capture is not None:
-                        # Fan-in: re-emit the worker's events (partial
-                        # captures from failed attempts included) inside
-                        # the cell span, and fold its metrics.
-                        replay_capture(capture, cell_span_id=span_id)
-                        if REGISTRY.enabled:
-                            REGISTRY.merge_snapshot(capture.metrics)
-                    if error is not None:
-                        errors = errors + (error,)
-                        if attempt <= retries:
-                            retry = _submit(pool, spec)
-                            states[retry] = (
-                                i, spec, key, attempt + 1, errors, started,
-                                span_id,
-                            )
-                            not_done.add(retry)
-                            if BUS.enabled:
-                                BUS.emit(
-                                    CellRetryEvent(
-                                        t=time.perf_counter() - t0,
-                                        label=spec.effective_label,
-                                        attempt=attempt,
-                                        error=errors[-1],
-                                        span_id=span_id,
-                                    )
-                                )
+                            states[fut] = job
+                            not_done.add(fut)
                             continue
-                        result = None
-                    if traced:
-                        if capture is not None and error is None:
-                            _emit_cell_health(
-                                spec.effective_label,
-                                capture.health,
-                                time.perf_counter() - t0,
-                                span_id,
-                            )
-                        SPANS.end(
-                            "campaign_cell",
-                            node=spec.effective_label,
-                            t=time.perf_counter() - t0,
-                        )
-                    duration = time.perf_counter() - started
-                    _finish_cell(spec, result, attempt, duration, t0)
-                    fresh.append(
-                        (i, spec, key, result, attempt, errors, duration)
-                    )
+                    # The pool died before this job could run; charge a
+                    # strike (termination guarantee) and requeue.
+                    retry_job = _record_failure(job, error, pool_died=True)
+                    if retry_job is not None:
+                        queue.append(retry_job)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        job = states.pop(fut)
+                        spec = job[1]
+                        span_id = job[7]
+                        result: Optional[SimResult] = None
+                        error: Optional[str] = None
+                        cell_capture: Optional[CellCapture] = None
+                        pool_died = False
+                        try:
+                            if traced:
+                                result, error, cell_capture = fut.result()
+                            else:
+                                result = fut.result()
+                        except BrokenProcessPool as exc:
+                            # A hard worker death (OOM-kill, segfault)
+                            # poisons the whole pool: every in-flight
+                            # future fails this way and further submits
+                            # raise. The round drains, then a fresh pool
+                            # picks up the survivors.
+                            pool_died = True
+                            broken = True
+                            error = _error_string(exc)
+                        except Exception as exc:  # noqa: BLE001 - retried below
+                            error = _error_string(exc)
+                        if cell_capture is not None:
+                            # Fan-in: re-emit the worker's events
+                            # (partial captures from failed attempts
+                            # included) inside the cell span, and fold
+                            # its metrics.
+                            replay_capture(cell_capture, cell_span_id=span_id)
+                            if REGISTRY.enabled:
+                                REGISTRY.merge_snapshot(cell_capture.metrics)
+                        if error is None:
+                            _finish_pooled(job, result, cell_capture)
+                            continue
+                        retry_job = _record_failure(job, error, pool_died)
+                        if retry_job is None:
+                            continue
+                        if broken:
+                            # Never resubmit into a dead pool — the
+                            # retry runs in the next round's pool.
+                            queue.append(retry_job)
+                            continue
+                        try:
+                            retry = _submit(pool, spec)
+                        except BrokenProcessPool:
+                            broken = True
+                            queue.append(retry_job)
+                        else:
+                            states[retry] = retry_job
+                            not_done.add(retry)
 
     for i, spec, key in inline_jobs:
         # The cell span brackets the whole inline execution (campaign
@@ -571,6 +667,7 @@ def run_campaign(
         n_workers=workers,
         wall_s=time.perf_counter() - t0,
         cache_dir=str(resolved_cache.path) if resolved_cache is not None else None,
+        n_uncacheable=n_uncacheable,
     )
     if BUS.enabled:
         BUS.emit(

@@ -1,0 +1,299 @@
+"""Pluggable byte stores backing :class:`~repro.campaign.cache.ResultCache`.
+
+The campaign cache historically *was* a flat directory of pickle files.
+Once the cache is shared — many campaign workers, many clients of the
+``repro serve`` daemon — the storage layer needs to be swappable and
+crash-safe, so it is factored out behind :class:`CacheStore`:
+
+- :class:`DirStore` keeps the original one-file-per-entry layout, with
+  durability hardened: the temp file is fsynced before the atomic
+  ``os.replace`` and the directory is fsynced after it, so a crash can
+  no longer leave a truncated payload under its final name.
+- :class:`SqliteStore` packs every entry into a single SQLite database
+  in WAL mode with ``BEGIN IMMEDIATE`` single-writer locking — the
+  backend of choice for a long-running daemon where thousands of tiny
+  result files would stress the filesystem.
+
+Stores move opaque ``bytes``; (un)pickling, hit/miss accounting and key
+validation stay in :class:`~repro.campaign.cache.ResultCache`. Store
+write failures surface as :class:`OSError` (sqlite errors are wrapped)
+because the campaign runner treats a failed memoization as best-effort.
+
+Backend selection (first match wins): explicit ``backend=`` argument,
+the ``REPRO_CACHE_BACKEND`` environment variable, a ``.sqlite``/``.db``
+suffix on the cache path, else the flat directory.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+_ENV_BACKEND = "REPRO_CACHE_BACKEND"
+
+#: Seconds a sqlite writer waits on the single-writer lock before
+#: giving up (surfaced as OSError; the runner records and moves on).
+SQLITE_BUSY_TIMEOUT_S = 10.0
+
+
+class CacheStore:
+    """Interface for a keyed blob store.
+
+    Keys are pre-validated content hashes (lowercase hex). ``load``
+    returns ``None`` for missing *or unreadable* entries — a corrupt
+    entry is deleted on the way out, never surfaced.
+    """
+
+    #: short name used in status lines / bench payloads
+    backend = "abstract"
+
+    def load(self, key: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def save(self, key: str, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def size_bytes(self) -> int:
+        raise NotImplementedError
+
+    def clear(self) -> int:
+        removed = 0
+        for key in list(self.keys()):
+            self.delete(key)
+            removed += 1
+        return removed
+
+    def close(self) -> None:
+        """Release any held resources (connections, fds)."""
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush directory metadata (the rename itself) to disk."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        # Some filesystems refuse fsync on directory fds; the entry
+        # itself is already durable, only the rename may lag.
+        pass
+    finally:
+        os.close(fd)
+
+
+class DirStore(CacheStore):
+    """One ``<key>.pkl`` file per entry in a flat directory."""
+
+    backend = "dir"
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    def _file_for(self, key: str) -> Path:
+        return self.path / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[bytes]:
+        try:
+            return self._file_for(key).read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.delete(key)
+            return None
+
+    def save(self, key: str, blob: bytes) -> None:
+        self.path.mkdir(parents=True, exist_ok=True)
+        file = self._file_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:12]}-", suffix=".tmp", dir=self.path
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                # Durability before visibility: without this fsync a
+                # crash right after os.replace() can leave a truncated
+                # entry readable under its final name.
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, file)
+            _fsync_dir(self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> None:
+        self._file_for(key).unlink(missing_ok=True)
+
+    def keys(self) -> Iterator[str]:
+        if not self.path.is_dir():
+            return iter(())
+        return (f.stem for f in sorted(self.path.glob("*.pkl")))
+
+    def size_bytes(self) -> int:
+        if not self.path.is_dir():
+            return 0
+        return sum(f.stat().st_size for f in sorted(self.path.glob("*.pkl")))
+
+
+class SqliteStore(CacheStore):
+    """All entries in one SQLite database, WAL mode, single writer.
+
+    A connection is opened per operation: sqlite3 connections are not
+    safely shareable across the threads and forked workers a daemon
+    uses, and the open cost is dwarfed by pickling a ``SimResult``.
+    Writers serialize on ``BEGIN IMMEDIATE`` with a busy timeout, so
+    concurrent campaign processes never interleave partial writes.
+    """
+
+    backend = "sqlite"
+
+    _SCHEMA = (
+        "CREATE TABLE IF NOT EXISTS entries ("
+        " key TEXT PRIMARY KEY,"
+        " blob BLOB NOT NULL,"
+        " nbytes INTEGER NOT NULL,"
+        " created_s REAL NOT NULL)"
+    )
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._init_lock = threading.Lock()
+        self._initialized = False
+
+    def _connect(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=SQLITE_BUSY_TIMEOUT_S)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=FULL")
+        conn.execute(f"PRAGMA busy_timeout={int(SQLITE_BUSY_TIMEOUT_S * 1000)}")
+        with self._init_lock:
+            if not self._initialized:
+                conn.execute(self._SCHEMA)
+                conn.commit()
+                self._initialized = True
+        return conn
+
+    def load(self, key: str) -> Optional[bytes]:
+        try:
+            conn = self._connect()
+            try:
+                row = conn.execute(
+                    "SELECT blob FROM entries WHERE key = ?", (key,)
+                ).fetchone()
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            return None
+        return bytes(row[0]) if row is not None else None
+
+    def save(self, key: str, blob: bytes) -> None:
+        try:
+            conn = self._connect()
+            try:
+                # IMMEDIATE takes the write lock up front: exactly one
+                # writer at a time, others queue on the busy timeout.
+                conn.execute("BEGIN IMMEDIATE")
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries"
+                    " (key, blob, nbytes, created_s) VALUES (?, ?, ?, ?)",
+                    (key, blob, len(blob), time.time()),
+                )
+                conn.commit()
+            finally:
+                conn.close()
+        except sqlite3.Error as exc:
+            raise OSError(f"sqlite cache write failed: {exc}") from exc
+
+    def delete(self, key: str) -> None:
+        try:
+            conn = self._connect()
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+                conn.commit()
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            pass
+
+    def keys(self) -> Iterator[str]:
+        try:
+            conn = self._connect()
+            try:
+                rows = conn.execute(
+                    "SELECT key FROM entries ORDER BY key"
+                ).fetchall()
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            return iter(())
+        return (row[0] for row in rows)
+
+    def __len__(self) -> int:
+        try:
+            conn = self._connect()
+            try:
+                (n,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            return 0
+        return int(n)
+
+    def size_bytes(self) -> int:
+        try:
+            conn = self._connect()
+            try:
+                (total,) = conn.execute(
+                    "SELECT COALESCE(SUM(nbytes), 0) FROM entries"
+                ).fetchone()
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            return 0
+        return int(total)
+
+
+_BACKENDS = {"dir": DirStore, "sqlite": SqliteStore}
+
+
+def make_store(path: PathLike, backend: Optional[str] = None) -> CacheStore:
+    """Build the store for ``path``.
+
+    Resolution order: ``backend`` argument, ``REPRO_CACHE_BACKEND``,
+    a ``.sqlite``/``.db`` path suffix, else the flat directory.
+    """
+    resolved = backend or os.environ.get(_ENV_BACKEND, "").strip().lower() or None
+    if resolved is None and Path(path).suffix in (".sqlite", ".db"):
+        resolved = "sqlite"
+    resolved = resolved or "dir"
+    try:
+        return _BACKENDS[resolved](path)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown cache backend {resolved!r}; expected one of "
+            f"{sorted(_BACKENDS)}"
+        ) from None

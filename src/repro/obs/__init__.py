@@ -77,6 +77,7 @@ from repro.obs.events import (
     CampaignFinishEvent,
     CampaignStartEvent,
     CellCacheHitEvent,
+    CellDedupeEvent,
     CellFinishEvent,
     CellHealthEvent,
     CellRetryEvent,
@@ -233,6 +234,7 @@ __all__ = [
     "PerfRegressionEvent",
     "CellStartEvent",
     "CellCacheHitEvent",
+    "CellDedupeEvent",
     "CellRetryEvent",
     "CellFinishEvent",
     "CellHealthEvent",

@@ -1,0 +1,44 @@
+"""The campaign service: a persistent daemon serving cached sweeps.
+
+BAAT's results are sweep-shaped — every figure is a campaign of
+deterministic cells — and seeded RNG makes each cell a pure function of
+its spec. ``repro serve`` exploits that at the fleet level: one
+long-running asyncio daemon owns the result cache and a process pool,
+accepts campaign specs from many concurrent clients over a unix socket
+(and optionally HTTP on localhost), dedupes identical *in-flight* cells
+across clients by cache key, and streams per-cell progress back as
+JSONL — the same wire format the trace sinks write, so a captured
+stream replays through ``repro trace`` / ``repro top`` unchanged.
+
+Layout:
+
+- :mod:`repro.service.protocol` — request/response line schema and
+  ``build_specs`` (campaign dict → :class:`~repro.campaign.RunSpec`
+  list, mirroring ``repro campaign``'s flags);
+- :mod:`repro.service.daemon` — :class:`CampaignService` (dedupe,
+  cache, pool management, broken-pool recovery) and :func:`serve`;
+- :mod:`repro.service.client` — blocking :class:`ServiceClient` used
+  by ``repro submit`` / ``repro serve-status``, benches, and tests.
+"""
+
+from repro.service.client import ServiceClient, wait_for_socket
+from repro.service.daemon import CampaignService, serve
+from repro.service.protocol import (
+    build_specs,
+    decode_line,
+    encode_line,
+    parse_request,
+    result_summary,
+)
+
+__all__ = [
+    "CampaignService",
+    "ServiceClient",
+    "build_specs",
+    "decode_line",
+    "encode_line",
+    "parse_request",
+    "result_summary",
+    "serve",
+    "wait_for_socket",
+]

@@ -1,0 +1,136 @@
+"""Blocking client for the campaign service daemon.
+
+Used by ``repro submit`` / ``repro serve-status``, the service bench,
+and the integration tests. One :class:`ServiceClient` holds one
+connection (unix socket or localhost TCP in the newline-JSON protocol)
+and can issue any number of sequential requests; concurrency comes
+from multiple clients, mirroring real multi-user traffic.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.service.protocol import decode_line, encode_line
+
+
+def wait_for_socket(path: str, timeout_s: float = 10.0) -> None:
+    """Block until a daemon accepts connections at ``path``.
+
+    Polls by connecting — a leftover socket *file* from a dead daemon
+    does not count as ready. Raises ``ConfigurationError`` on timeout.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise ConfigurationError(
+                    f"no campaign service listening at {path} "
+                    f"after {timeout_s:.0f}s"
+                ) from None
+            time.sleep(0.05)
+        finally:
+            sock.close()
+
+
+class ServiceClient:
+    """One blocking connection to a ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        if (socket_path is None) == (host is None):
+            raise ConfigurationError(
+                "exactly one of socket_path or host/port is required"
+            )
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target: Any = socket_path
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = (host, port)
+        if timeout_s is not None:
+            self._sock.settimeout(timeout_s)
+        try:
+            self._sock.connect(target)
+        except OSError as exc:
+            self._sock.close()
+            raise ConfigurationError(
+                f"cannot reach campaign service at {target}: {exc}"
+            ) from None
+        self._fh = self._sock.makefile("rwb")
+
+    # -- low level ------------------------------------------------------
+    def _send(self, request: Dict[str, Any]) -> None:
+        self._fh.write(encode_line(request))
+        self._fh.flush()
+
+    def _read(self) -> Dict[str, Any]:
+        line = self._fh.readline()
+        if not line:
+            raise ConfigurationError(
+                "campaign service closed the connection mid-stream"
+            )
+        return decode_line(line)
+
+    # -- requests -------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        self._send({"op": "ping"})
+        return self._read()
+
+    def status(self) -> Dict[str, Any]:
+        self._send({"op": "status"})
+        return self._read()
+
+    def shutdown(self) -> Dict[str, Any]:
+        self._send({"op": "shutdown"})
+        return self._read()
+
+    def submit(self, campaign: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Submit one campaign; yield every response line as a dict.
+
+        The stream ends with (and includes) the ``service_done``
+        summary; a ``service_error`` line also terminates it. Consume
+        the iterator fully before issuing another request on this
+        client.
+        """
+        self._send({"op": "submit", "campaign": campaign})
+        while True:
+            data = self._read()
+            yield data
+            if data.get("kind") in ("service_done", "service_error"):
+                return
+
+    def submit_wait(self, campaign: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit and swallow the stream; return the final summary line."""
+        last: Dict[str, Any] = {}
+        for line in self.submit(campaign):
+            last = line
+        if last.get("kind") != "service_done":
+            raise ConfigurationError(
+                f"campaign submission failed: {last.get('error', last)}"
+            )
+        return last
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

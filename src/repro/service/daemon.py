@@ -1,0 +1,554 @@
+"""The ``repro serve`` daemon: shared cache, shared pool, live dedupe.
+
+One :class:`CampaignService` owns the process pool and the result
+cache; every client connection is an asyncio task feeding cells through
+:meth:`CampaignService.run_cell`. Three layers keep concurrent clients
+from wasting work:
+
+1. **in-flight dedupe** — cells are keyed by their content hash; a
+   submission whose key is already executing *joins* that execution
+   (an awaited future) instead of starting its own, and the stream
+   marks it with a ``cell_dedupe`` event;
+2. **cache probe** — finished cells are served straight from the
+   shared :class:`~repro.campaign.cache.ResultCache`;
+3. **single memoize** — only the executing holder writes the cache, so
+   N concurrent identical submissions cost one simulation and one
+   cache write.
+
+The pool survives hard worker deaths the same way the batch runner
+does: a :class:`BrokenProcessPool` discards the poisoned pool, the
+cell takes a "strike" against its retry budget, and a fresh pool is
+built lazily for the next submission — the daemon never dies with a
+client's campaign half-finished.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import _error_string, _execute_spec, _is_picklable
+from repro.campaign.spec import RunSpec
+from repro.errors import ConfigurationError
+from repro.obs.capture import sanitize_forked_worker
+from repro.obs.events import (
+    CampaignFinishEvent,
+    CampaignStartEvent,
+    CellCacheHitEvent,
+    CellDedupeEvent,
+    CellFinishEvent,
+    CellStartEvent,
+    TraceEvent,
+)
+from repro.service.protocol import (
+    build_specs,
+    encode_line,
+    parse_request,
+    result_summary,
+)
+from repro.sim.results import SimResult
+
+#: An ``emit`` callback delivers one wire line (dict or TraceEvent).
+Emit = Callable[[Any], Awaitable[None]]
+
+#: (result, attempts, errors) — what one cell execution resolves to.
+CellOutcome = Tuple[Optional[SimResult], int, Tuple[str, ...]]
+
+
+class CampaignService:
+    """Shared state of one daemon: cache, pool, in-flight table, stats."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        n_workers: int = 2,
+        retries: int = 1,
+    ):
+        if n_workers < 1:
+            raise ConfigurationError("service n_workers must be >= 1")
+        if retries < 0:
+            raise ConfigurationError("service retries must be >= 0")
+        self.cache = cache
+        self.workers = n_workers
+        self.retries = retries
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: cache key -> future resolving to that cell's CellOutcome.
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._eid = itertools.count(1)
+        self._campaign_seq = itertools.count(1)
+        self._t0 = time.perf_counter()
+        self.shutdown_requested = asyncio.Event()
+        self.stats: Dict[str, int] = {
+            "campaigns": 0,
+            "cells": 0,
+            "executed": 0,
+            "cache_hits": 0,
+            "dedupe_hits": 0,
+            "failed": 0,
+            "pool_rebuilds": 0,
+        }
+
+    # -- wire events ----------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _event(self, cls, **kwargs) -> TraceEvent:
+        """A wire trace event stamped with daemon uptime + a fresh eid."""
+        return cls(t=self._now(), eid=next(self._eid), **kwargs)
+
+    # -- pool management ------------------------------------------------
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # spawn, not fork: forked workers would inherit every
+            # accepted connection fd, holding client sockets open after
+            # the daemon closes them — HTTP clients (whose NDJSON body
+            # is framed by connection close) would hang forever — and
+            # would drag the live event loop state into the children.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=sanitize_forked_worker,
+            )
+        return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Retire a poisoned pool (idempotent across racing cells)."""
+        if self._pool is pool:
+            self._pool = None
+            self.stats["pool_rebuilds"] += 1
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    async def _execute(self, spec: RunSpec) -> CellOutcome:
+        """Run one cell with retries and broken-pool recovery."""
+        loop = asyncio.get_running_loop()
+        pooled = _is_picklable(spec)
+        genuine = 0
+        strikes = 0
+        errors: List[str] = []
+        while True:
+            try:
+                if pooled:
+                    pool = self._get_pool()
+                    result = await loop.run_in_executor(
+                        pool, _execute_spec, spec
+                    )
+                else:
+                    # Closure-built specs cannot cross a process
+                    # boundary; a thread keeps the event loop live.
+                    result = await loop.run_in_executor(
+                        None, spec.execute
+                    )
+                return result, genuine + strikes + 1, tuple(errors)
+            except BrokenProcessPool as exc:
+                # A worker died hard: every cell sharing this pool sees
+                # the same exception; the first to arrive retires it.
+                errors.append(_error_string(exc))
+                self._discard_pool(pool)
+                strikes += 1
+                if strikes > self.retries:
+                    return None, genuine + strikes, tuple(errors)
+            except Exception as exc:  # noqa: BLE001 - recorded per cell
+                errors.append(_error_string(exc))
+                genuine += 1
+                if genuine > self.retries:
+                    return None, genuine + strikes, tuple(errors)
+
+    # -- one cell -------------------------------------------------------
+    async def run_cell(self, spec: RunSpec, emit: Emit) -> Dict[str, Any]:
+        """Resolve one cell (dedupe → cache → execute) and stream it.
+
+        Returns the ``cell_result`` envelope (also emitted), whose
+        ``source`` is one of ``dedupe``/``cache``/``executed``/
+        ``failed``.
+        """
+        label = spec.effective_label
+        key = spec.cache_key() if self.cache is not None else None
+        started = time.perf_counter()
+        self.stats["cells"] += 1
+
+        # 1. Join an identical in-flight execution, if any. The holder
+        # future resolves (never raises) unless the holder's client
+        # vanished mid-run — then the future is cancelled and the loop
+        # re-checks, possibly becoming the new holder.
+        joined = False
+        while key is not None:
+            holder = self._inflight.get(key)
+            if holder is None:
+                break
+            if not joined:
+                joined = True
+                self.stats["dedupe_hits"] += 1
+                await emit(self._event(CellDedupeEvent, label=label))
+            try:
+                outcome = await asyncio.shield(holder)
+            except asyncio.CancelledError:
+                if holder.cancelled():
+                    continue
+                raise
+            return await self._emit_result(
+                spec, outcome, "dedupe", started, emit
+            )
+
+        # 2. Shared cache probe (wrong-type entries evict as misses).
+        if key is not None:
+            hit = self.cache.get(key, expect=SimResult)
+            if hit is not None:
+                self.stats["cache_hits"] += 1
+                await emit(self._event(CellCacheHitEvent, label=label))
+                return await self._emit_result(
+                    spec, (hit, 0, ()), "cache", started, emit
+                )
+
+        # 3. Execute as the holder. Registration, memoize, and future
+        # resolution happen without awaits in between, so followers can
+        # never observe "finished but not yet cached".
+        future: Optional[asyncio.Future] = None
+        if key is not None:
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+        await emit(self._event(CellStartEvent, label=label))
+        try:
+            outcome = await self._execute(spec)
+        except asyncio.CancelledError:
+            if future is not None:
+                self._inflight.pop(key, None)
+                future.cancel()
+            raise
+        result = outcome[0]
+        if result is not None and key is not None:
+            try:
+                self.cache.put(key, result)
+            except OSError:
+                # An unwritable cache degrades to uncached serving; it
+                # must never fail a finished cell.
+                pass
+        if future is not None:
+            self._inflight.pop(key, None)
+            future.set_result(outcome)
+        source = "executed" if result is not None else "failed"
+        self.stats["executed" if result is not None else "failed"] += 1
+        await emit(
+            self._event(
+                CellFinishEvent,
+                label=label,
+                ok=result is not None,
+                attempts=outcome[1],
+                wall_s=time.perf_counter() - started,
+            )
+        )
+        return await self._emit_result(spec, outcome, source, started, emit)
+
+    async def _emit_result(
+        self,
+        spec: RunSpec,
+        outcome: CellOutcome,
+        source: str,
+        started: float,
+        emit: Emit,
+    ) -> Dict[str, Any]:
+        result, attempts, errors = outcome
+        envelope: Dict[str, Any] = {
+            "kind": "cell_result",
+            "label": spec.effective_label,
+            "ok": result is not None,
+            "source": source,
+            "attempts": attempts,
+            "wall_s": round(time.perf_counter() - started, 6),
+            "errors": list(errors),
+        }
+        if result is not None:
+            envelope["summary"] = result_summary(result)
+        await emit(envelope)
+        return envelope
+
+    # -- one campaign ---------------------------------------------------
+    async def run_campaign_request(
+        self, campaign: Dict[str, Any], emit: Emit
+    ) -> Dict[str, Any]:
+        """Serve one submit request, streaming progress via ``emit``."""
+        specs = build_specs(campaign)
+        campaign_id = next(self._campaign_seq)
+        self.stats["campaigns"] += 1
+        t_start = time.perf_counter()
+        await emit(
+            {
+                "kind": "service_ack",
+                "op": "submit",
+                "campaign_id": campaign_id,
+                "n_cells": len(specs),
+            }
+        )
+        await emit(
+            self._event(
+                CampaignStartEvent, n_cells=len(specs), n_workers=self.workers
+            )
+        )
+        cells = await asyncio.gather(
+            *(self.run_cell(spec, emit) for spec in specs)
+        )
+        sources = {"executed": 0, "cache": 0, "dedupe": 0, "failed": 0}
+        for cell in cells:
+            sources[cell["source"]] += 1
+        n_ok = sum(1 for c in cells if c["ok"])
+        n_failed = len(cells) - n_ok
+        wall_s = time.perf_counter() - t_start
+        await emit(
+            self._event(
+                CampaignFinishEvent,
+                n_cells=len(cells),
+                ok=sources["executed"],
+                failed=n_failed,
+                cached=sources["cache"] + sources["dedupe"],
+                executed=sources["executed"] + sources["failed"],
+                wall_s=wall_s,
+            )
+        )
+        done = {
+            "kind": "service_done",
+            "campaign_id": campaign_id,
+            "n_cells": len(cells),
+            "ok": n_ok,
+            "failed": n_failed,
+            "cached": sources["cache"],
+            "deduped": sources["dedupe"],
+            "executed": sources["executed"] + sources["failed"],
+            "wall_s": round(wall_s, 6),
+        }
+        await emit(done)
+        return done
+
+    # -- status ---------------------------------------------------------
+    def status_payload(self) -> Dict[str, Any]:
+        cache_info: Optional[Dict[str, Any]] = None
+        if self.cache is not None:
+            cache_info = {
+                "path": str(self.cache.path),
+                "backend": self.cache.backend,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+            }
+        return {
+            "kind": "service_status",
+            "pid": os.getpid(),
+            "uptime_s": round(self._now(), 3),
+            "n_workers": self.workers,
+            "retries": self.retries,
+            "inflight": len(self._inflight),
+            "stats": dict(self.stats),
+            "cache": cache_info,
+        }
+
+    # -- connection handling --------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One newline-JSON client session (unix socket or TCP)."""
+        # Concurrent cells of one submission share the socket; the lock
+        # keeps each JSON line atomic on the wire.
+        write_lock = asyncio.Lock()
+
+        async def emit(obj: Any) -> None:
+            line = encode_line(obj)
+            async with write_lock:
+                writer.write(line)
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = parse_request(line)
+                except ConfigurationError as exc:
+                    await emit({"kind": "service_error", "error": str(exc)})
+                    continue
+                op = request["op"]
+                if op == "ping":
+                    await emit(
+                        {
+                            "kind": "service_pong",
+                            "pid": os.getpid(),
+                            "uptime_s": round(self._now(), 3),
+                        }
+                    )
+                elif op == "status":
+                    await emit(self.status_payload())
+                elif op == "shutdown":
+                    await emit({"kind": "service_ack", "op": "shutdown"})
+                    self.shutdown_requested.set()
+                    break
+                elif op == "submit":
+                    try:
+                        await self.run_campaign_request(
+                            request["campaign"], emit
+                        )
+                    except ConfigurationError as exc:
+                        await emit(
+                            {"kind": "service_error", "error": str(exc)}
+                        )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- minimal HTTP (localhost) ---------------------------------------
+    async def handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One HTTP/1.1 exchange: GET /ping|/status, POST /submit.
+
+        Responses stream ``application/x-ndjson`` and end at connection
+        close — the simplest framing that still lets ``curl -N`` watch
+        a campaign live.
+        """
+
+        def respond_head(status: str) -> None:
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    "Content-Type: application/x-ndjson\r\n"
+                    "Cache-Control: no-store\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii")
+            )
+
+        write_lock = asyncio.Lock()
+
+        async def emit(obj: Any) -> None:
+            line = encode_line(obj)
+            async with write_lock:
+                writer.write(line)
+                await writer.drain()
+
+        try:
+            request_line = (await reader.readline()).decode(
+                "ascii", errors="replace"
+            )
+            parts = request_line.split()
+            if len(parts) < 2:
+                writer.close()
+                return
+            method, target = parts[0].upper(), parts[1]
+            content_length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = header.decode(
+                    "ascii", errors="replace"
+                ).partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = 0
+            if method == "GET" and target in ("/ping", "/"):
+                respond_head("200 OK")
+                await emit({"kind": "service_pong", "pid": os.getpid()})
+            elif method == "GET" and target == "/status":
+                respond_head("200 OK")
+                await emit(self.status_payload())
+            elif method == "POST" and target == "/submit":
+                body = (
+                    await reader.readexactly(content_length)
+                    if content_length
+                    else b"{}"
+                )
+                try:
+                    campaign = parse_request(
+                        b'{"op":"submit","campaign":' + body + b"}"
+                    )["campaign"]
+                except ConfigurationError as exc:
+                    respond_head("400 Bad Request")
+                    await emit({"kind": "service_error", "error": str(exc)})
+                else:
+                    respond_head("200 OK")
+                    try:
+                        await self.run_campaign_request(campaign, emit)
+                    except ConfigurationError as exc:
+                        await emit(
+                            {"kind": "service_error", "error": str(exc)}
+                        )
+            else:
+                respond_head("404 Not Found")
+                await emit(
+                    {
+                        "kind": "service_error",
+                        "error": f"no route {method} {target}",
+                    }
+                )
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def close(self) -> None:
+        """Release the pool (after the event loop is done with it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+async def serve(
+    service: CampaignService,
+    socket_path: str,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    ready: Optional[Callable[[], None]] = None,
+) -> None:
+    """Run the daemon until a client requests shutdown.
+
+    Binds a unix socket at ``socket_path`` (stale sockets from a dead
+    daemon are replaced) and, when ``host``/``port`` are given, a
+    localhost HTTP listener. ``ready`` fires once both are accepting —
+    used by the CLI to print the endpoints and by tests/benches to
+    synchronize startup.
+    """
+    try:
+        os.unlink(socket_path)
+    except FileNotFoundError:
+        pass
+    servers = [
+        await asyncio.start_unix_server(
+            service.handle_connection, path=socket_path
+        )
+    ]
+    if host is not None:
+        servers.append(
+            await asyncio.start_server(service.handle_http, host, port)
+        )
+    try:
+        if ready is not None:
+            ready()
+        await service.shutdown_requested.wait()
+    finally:
+        for server in servers:
+            server.close()
+            await server.wait_closed()
+        try:
+            os.unlink(socket_path)
+        except FileNotFoundError:
+            pass
+        service.close()

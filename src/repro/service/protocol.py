@@ -1,0 +1,168 @@
+"""Wire protocol for the campaign service.
+
+Requests and responses are newline-delimited JSON objects. Requests are
+plain ``{"op": ...}`` dicts; responses interleave two line shapes:
+
+- **service envelopes** — ``{"kind": "service_*", ...}`` framing lines
+  (ack, status, errors, the final ``service_done`` summary) plus one
+  ``{"kind": "cell_result", ...}`` per cell carrying the result
+  summary;
+- **trace events** — the existing :mod:`repro.obs.events` wire format
+  (``campaign_start``, ``cell_start``, ``cell_cache_hit``,
+  ``cell_dedupe``, ``cell_finish``, ``campaign_finish``), so a client
+  that appends every line to a file gets something ``repro trace`` /
+  ``repro top`` already understand (unknown service kinds are skipped
+  by ``iter_events(strict=False)``).
+
+``build_specs`` turns the submitted campaign dict into
+:class:`~repro.campaign.RunSpec` cells with exactly the semantics of
+``repro campaign``'s flags, so a submission and a local run of the same
+parameters produce identical cache keys — which is what lets the daemon
+serve one client's results to another.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.campaign import RunSpec
+from repro.errors import ConfigurationError
+from repro.rng import DEFAULT_SEED
+from repro.sim.results import SimResult
+from repro.sim.scenario import Scenario
+from repro.solar.weather import DayClass
+
+#: Every request is one of these ops.
+REQUEST_OPS = ("ping", "status", "submit", "shutdown")
+
+#: Campaign-dict keys build_specs accepts; anything else is rejected
+#: loudly so a typo ("polices") cannot silently run the default sweep.
+CAMPAIGN_KEYS = (
+    "policies",
+    "days",
+    "day_mix",
+    "nodes",
+    "dt",
+    "fade",
+    "seed",
+    "stepper",
+)
+
+
+def encode_line(obj: Union[Dict[str, Any], Any]) -> bytes:
+    """One wire line: compact JSON + newline (accepts dicts or events)."""
+    if hasattr(obj, "to_dict"):
+        obj = obj.to_dict()
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one wire line into a dict (raises ConfigurationError)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise ConfigurationError(f"malformed service line: {exc}") from None
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"service lines must be JSON objects, got {type(data).__name__}"
+        )
+    return data
+
+
+def parse_request(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Validate one client request line."""
+    data = decode_line(line)
+    op = data.get("op")
+    if op not in REQUEST_OPS:
+        raise ConfigurationError(
+            f"unknown service op {op!r}; expected one of {REQUEST_OPS}"
+        )
+    if op == "submit" and not isinstance(data.get("campaign"), dict):
+        raise ConfigurationError("submit requests need a 'campaign' object")
+    return data
+
+
+def _as_list(value: Union[str, Sequence[str]], what: str) -> List[str]:
+    if isinstance(value, str):
+        items = [v.strip() for v in value.split(",") if v.strip()]
+    elif isinstance(value, (list, tuple)):
+        items = [str(v).strip() for v in value if str(v).strip()]
+    else:
+        raise ConfigurationError(
+            f"{what} must be a comma-separated string or a list"
+        )
+    if not items:
+        raise ConfigurationError(f"{what} must name at least one entry")
+    return items
+
+
+def build_specs(campaign: Optional[Dict[str, Any]]) -> List[RunSpec]:
+    """Campaign dict → one RunSpec per policy (``repro campaign`` semantics).
+
+    Keys (all optional): ``policies`` (default: the four Table-4
+    schemes), ``days`` (default 1), ``day_mix`` (cycled over the
+    horizon, default ``cloudy``), ``nodes`` (default 6), ``dt``
+    (default 120.0 s), ``fade`` (default 0.0), ``seed``, ``stepper``
+    (``reference``/``fleet``).
+    """
+    campaign = dict(campaign or {})
+    unknown = sorted(set(campaign) - set(CAMPAIGN_KEYS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown campaign key(s) {unknown}; expected {CAMPAIGN_KEYS}"
+        )
+    from repro.core.policies.factory import POLICY_NAMES
+
+    policies = _as_list(
+        campaign.get("policies", list(POLICY_NAMES)), "campaign policies"
+    )
+    try:
+        n_days = int(campaign.get("days", 1))
+        nodes = int(campaign.get("nodes", 6))
+        dt_s = float(campaign.get("dt", 120.0))
+        fade = float(campaign.get("fade", 0.0))
+        seed = int(campaign.get("seed", DEFAULT_SEED))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"bad campaign parameter: {exc}") from None
+    if n_days < 1:
+        raise ConfigurationError("campaign days must be >= 1")
+    stepper = str(campaign.get("stepper", "reference"))
+    if stepper not in ("reference", "fleet"):
+        raise ConfigurationError(
+            f"unknown stepper {stepper!r}; expected 'reference' or 'fleet'"
+        )
+    day_names = _as_list(campaign.get("day_mix", "cloudy"), "campaign day_mix")
+    try:
+        day_mix = [DayClass(d) for d in day_names]
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"unknown day class in day_mix: {exc}"
+        ) from None
+    days = (day_mix * ((n_days + len(day_mix) - 1) // len(day_mix)))[:n_days]
+
+    scenario = Scenario(
+        n_nodes=nodes, dt_s=dt_s, initial_fade=fade, seed=seed, stepper=stepper
+    )
+    trace = scenario.trace_generator().days(days)
+    return [
+        RunSpec(scenario=scenario, trace=trace, policy=name)
+        for name in policies
+    ]
+
+
+def result_summary(result: SimResult) -> Dict[str, Any]:
+    """The compact per-cell summary shipped in ``cell_result`` lines."""
+    return {
+        "policy": result.policy_name,
+        "duration_s": result.duration_s,
+        "throughput": result.throughput,
+        "n_nodes": len(result.nodes),
+        "total_downtime_s": result.total_downtime_s,
+        "migrations": result.migrations,
+        "dvfs_transitions": result.dvfs_transitions,
+        "unserved_wh": result.unserved_wh,
+        "feedback_wh": result.feedback_wh,
+    }

@@ -1,6 +1,7 @@
 """Tests for the campaign runner: specs, cache, fan-out, retries."""
 
 import functools
+import os
 import pickle
 
 import pytest
@@ -13,9 +14,11 @@ from repro.campaign import (
     set_default_workers,
 )
 from repro.campaign.cache import callable_token, canonical, object_key
+from repro.campaign.store import DirStore, SqliteStore, make_store
 from repro.core.policies.factory import make_policy
 from repro.errors import ConfigurationError
 from repro.sim.engine import run_policy_on_trace
+from repro.sim.results import SimResult
 
 POLICIES = ("e-buff", "baat")
 
@@ -36,6 +39,35 @@ def flaky_setup(sim):
 
 def broken_setup(sim):
     raise RuntimeError("this cell always breaks")
+
+
+def kill_worker_setup(sim):
+    """Hard-kills the worker process (OOM-killer / segfault stand-in)."""
+    os._exit(42)
+
+
+def _claim(marker):
+    """Atomically claim a cross-process one-shot marker file."""
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def kill_worker_once_setup(sim, marker):
+    """Kills the worker the first time only; the marker file remembers."""
+    if _claim(marker):
+        os._exit(42)
+
+
+def kill_then_raise_setup(sim, kill_marker, raise_marker):
+    """First call kills the worker, second raises, third succeeds."""
+    if _claim(kill_marker):
+        os._exit(42)
+    if _claim(raise_marker):
+        raise RuntimeError("transient failure after pool death")
 
 
 @pytest.fixture
@@ -286,6 +318,225 @@ class TestRunCampaign:
         report = run_campaign(specs[:1], n_workers=1, cache=None)
         assert "1 executed" in report.summary_line()
         assert "0 cached" in report.summary_line()
+
+
+class TestBrokenPool:
+    """Hard worker deaths must not abort the campaign or eat results."""
+
+    def test_always_dying_worker_fails_its_cell_only(
+        self, tiny_scenario, one_sunny_day
+    ):
+        killer = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy="baat",
+            setup=kill_worker_setup,
+            label="killer",
+        )
+        # Regression: a BrokenProcessPool used to propagate out of
+        # run_campaign, discarding every other cell's work.
+        report = run_campaign([killer], n_workers=2, cache=None, retries=1)
+        outcome = report.outcome("killer")
+        assert not outcome.ok
+        assert outcome.attempts == 2  # first try + one pool-death strike
+        assert len(outcome.errors) == 2
+        assert any("terminated" in e or "BrokenProcessPool" in e for e in outcome.errors)
+        with pytest.raises(CampaignError, match="killer"):
+            report.results()
+
+    def test_pool_is_rebuilt_and_survivors_finish(
+        self, tmp_path, tiny_scenario, one_sunny_day, specs
+    ):
+        marker = tmp_path / "died-once"
+        killer = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy="baat",
+            setup=functools.partial(
+                kill_worker_once_setup, marker=str(marker)
+            ),
+            label="killer",
+        )
+        report = run_campaign(
+            [specs[0], killer], n_workers=2, cache=None, retries=1
+        )
+        assert marker.exists()
+        assert report.outcome(specs[0].effective_label).ok
+        survivor = report.outcome("killer")
+        assert survivor.ok
+        assert survivor.attempts >= 2  # pool-death strike, then success
+
+    def test_pool_death_strikes_do_not_consume_genuine_retries(
+        self, tmp_path, tiny_scenario, one_sunny_day
+    ):
+        """A cell that dies with the pool once and then raises once
+        still succeeds with retries=1: pool-death strikes are budgeted
+        separately from genuine failures, so the strike cannot eat the
+        cell's one real retry."""
+        cell = RunSpec(
+            scenario=tiny_scenario,
+            trace=one_sunny_day,
+            policy="e-buff",
+            setup=functools.partial(
+                kill_then_raise_setup,
+                kill_marker=str(tmp_path / "killed"),
+                raise_marker=str(tmp_path / "raised"),
+            ),
+            label="cell",
+        )
+        report = run_campaign([cell], n_workers=2, cache=None, retries=1)
+        outcome = report.outcome("cell")
+        assert outcome.ok
+        assert outcome.attempts == 3  # kill + raise + success
+        assert len(outcome.errors) == 2
+
+
+class TestUncacheableAccounting:
+    def _lambda_specs(self, tiny_scenario, one_sunny_day, n=5):
+        return [
+            RunSpec(
+                scenario=tiny_scenario,
+                trace=one_sunny_day,
+                policy_factory=lambda: make_policy("baat"),
+                label=f"cell-{i}",
+            )
+            for i in range(n)
+        ]
+
+    def test_all_uncacheable_campaign_does_not_trip_miss_storm(
+        self, tmp_path, tiny_scenario, one_sunny_day
+    ):
+        """Regression: closure-built cells (key=None) were counted as
+        misses, so a sweep of lambda policies read as a 100% miss storm
+        even though those cells can never hit."""
+        from repro.obs import ALERTS, disable_observability, enable_observability
+
+        cache = ResultCache(tmp_path / "c")
+        specs = self._lambda_specs(tiny_scenario, one_sunny_day)
+        enable_observability()
+        try:
+            report = run_campaign(specs, n_workers=1, cache=cache)
+            assert ALERTS.fired("cache_miss_storm") == []
+        finally:
+            disable_observability()
+        assert report.n_uncacheable == len(specs)
+        assert "5 uncacheable" in report.cache_summary_line()
+        assert "0 miss(es)" in report.cache_summary_line()
+
+    def test_keyed_misses_still_trip_the_storm(
+        self, tmp_path, tiny_scenario, one_sunny_day
+    ):
+        from repro.obs import ALERTS, disable_observability, enable_observability
+
+        cache = ResultCache(tmp_path / "c")
+        seeds = range(4)
+        from dataclasses import replace
+
+        specs = [
+            RunSpec(
+                scenario=replace(tiny_scenario, seed=100 + i),
+                trace=one_sunny_day,
+                policy="e-buff",
+            )
+            for i in seeds
+        ]
+        enable_observability()
+        try:
+            run_campaign(specs, n_workers=1, cache=cache)
+            assert len(ALERTS.fired("cache_miss_storm")) == 1
+        finally:
+            disable_observability()
+
+    def test_mixed_campaign_reports_uncacheable_bucket(
+        self, tmp_path, tiny_scenario, one_sunny_day, specs
+    ):
+        cache = ResultCache(tmp_path / "c")
+        mixed = [specs[0]] + self._lambda_specs(
+            tiny_scenario, one_sunny_day, n=1
+        )
+        report = run_campaign(mixed, n_workers=1, cache=cache)
+        assert report.n_uncacheable == 1
+        line = report.cache_summary_line()
+        assert "1 miss(es)" in line and "1 uncacheable" in line
+
+
+class TestCacheHardening:
+    def test_wrong_type_payload_evicts_as_miss(self, tmp_path):
+        """Regression: a payload of the wrong type counted as a hit and
+        stayed on disk, so the poisoned entry shadowed every rerun."""
+        cache = ResultCache(tmp_path / "c")
+        key = object_key("poisoned")
+        cache.put(key, {"not": "a SimResult"})
+        assert cache.get(key, expect=SimResult) is None
+        assert cache.misses == 1 and cache.hits == 0
+        assert key not in cache  # evicted, so a rerun can repopulate it
+
+    def test_untyped_get_still_accepts_any_payload(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = object_key("any")
+        cache.put(key, [1, 2])
+        assert cache.get(key) == [1, 2]
+
+    def test_put_fsyncs_data_file_and_directory(self, tmp_path, monkeypatch):
+        """Regression: the rename was not fsynced, so a crash could
+        leave an empty/truncated entry that later read as corrupt."""
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        cache = ResultCache(tmp_path / "c")
+        cache.put(object_key("durable"), 7)
+        # One fsync for the temp data file, one for the directory.
+        assert len(synced) >= 2
+
+
+class TestCacheStores:
+    def test_sqlite_backend_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", backend="sqlite")
+        assert cache.backend == "sqlite"
+        key = object_key("k")
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert key in cache and len(cache) == 1
+        assert cache.size_bytes() > 0
+        # A second handle on the same path sees the entry (shared cache).
+        other = ResultCache(tmp_path / "c", backend="sqlite")
+        assert other.get(key) == {"value": 42}
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        cache.close()
+        other.close()
+
+    def test_sqlite_wrong_type_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", backend="sqlite")
+        key = object_key("poisoned")
+        cache.put(key, "nope")
+        assert cache.get(key, expect=SimResult) is None
+        assert key not in cache
+        cache.close()
+
+    def test_make_store_suffix_and_env_detection(self, tmp_path, monkeypatch):
+        assert isinstance(make_store(tmp_path / "plain"), DirStore)
+        assert isinstance(make_store(tmp_path / "c.sqlite"), SqliteStore)
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        assert isinstance(make_store(tmp_path / "plain2"), SqliteStore)
+        with pytest.raises(ConfigurationError):
+            make_store(tmp_path / "x", backend="tarball")
+
+    def test_campaign_runs_against_sqlite_cache(self, tmp_path, specs):
+        cache = ResultCache(tmp_path / "c.sqlite")
+        assert cache.backend == "sqlite"
+        first = run_campaign(specs, n_workers=1, cache=cache)
+        assert first.n_executed == len(specs)
+        second = run_campaign(specs, n_workers=1, cache=cache)
+        assert second.n_cache_hits == len(specs)
+        assert second.results() == first.results()
+        cache.close()
 
 
 class TestAgingCampaignCaching:

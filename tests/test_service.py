@@ -1,0 +1,341 @@
+"""Tests for the campaign service: protocol, dedupe, daemon integration."""
+
+import asyncio
+import json
+import subprocess
+import sys
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.campaign import ResultCache
+from repro.errors import ConfigurationError
+from repro.obs.events import TraceEvent, event_from_dict
+from repro.service import (
+    CampaignService,
+    ServiceClient,
+    build_specs,
+    decode_line,
+    encode_line,
+    parse_request,
+    wait_for_socket,
+)
+
+#: Fast real campaign: two ~0.25 s cells on the default 6-node scenario.
+CAMPAIGN = {"policies": "e-buff,baat", "days": 1, "dt": 300.0}
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        line = encode_line({"op": "ping"})
+        assert line.endswith(b"\n")
+        assert decode_line(line) == {"op": "ping"}
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            decode_line(b"not json\n")
+        with pytest.raises(ConfigurationError):
+            decode_line(b"[1,2,3]\n")
+
+    def test_parse_request_validates_op(self):
+        assert parse_request(b'{"op":"status"}\n')["op"] == "status"
+        with pytest.raises(ConfigurationError):
+            parse_request(b'{"op":"reboot"}\n')
+        with pytest.raises(ConfigurationError):
+            parse_request(b'{"op":"submit"}\n')  # missing campaign object
+        with pytest.raises(ConfigurationError):
+            parse_request(b'{"op":"submit","campaign":[]}\n')
+
+    def test_encode_accepts_trace_events(self):
+        from repro.obs.events import CellStartEvent
+
+        data = decode_line(
+            encode_line(CellStartEvent(t=1.0, eid=2, label="x"))
+        )
+        assert data["kind"] == "cell_start" and data["label"] == "x"
+
+
+class TestBuildSpecs:
+    def test_defaults_produce_the_table4_sweep(self):
+        specs = build_specs(None)
+        from repro.core.policies.factory import POLICY_NAMES
+
+        assert [s.policy for s in specs] == list(POLICY_NAMES)
+        scenario = specs[0].scenario
+        assert scenario.n_nodes == 6
+        assert scenario.dt_s == 120.0
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="polices"):
+            build_specs({"polices": "baat"})
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            build_specs({"days": 0})
+        with pytest.raises(ConfigurationError):
+            build_specs({"days": "many"})
+        with pytest.raises(ConfigurationError):
+            build_specs({"day_mix": "drizzle"})
+        with pytest.raises(ConfigurationError):
+            build_specs({"stepper": "warp"})
+        with pytest.raises(ConfigurationError):
+            build_specs({"policies": []})
+
+    def test_policies_accept_string_or_list(self):
+        a = build_specs({**CAMPAIGN, "policies": "e-buff,baat"})
+        b = build_specs({**CAMPAIGN, "policies": ["e-buff", "baat"]})
+        assert [s.policy for s in a] == [s.policy for s in b]
+
+    def test_identical_submissions_share_cache_keys(self):
+        """The whole service premise: same campaign dict, same keys."""
+        first = [s.cache_key() for s in build_specs(dict(CAMPAIGN))]
+        second = [s.cache_key() for s in build_specs(dict(CAMPAIGN))]
+        assert first == second
+        assert all(k is not None for k in first)
+        shifted = [
+            s.cache_key() for s in build_specs({**CAMPAIGN, "seed": 999})
+        ]
+        assert set(first).isdisjoint(shifted)
+
+
+def _stub_result(policy="e-buff"):
+    """Quacks like a SimResult as far as result_summary is concerned."""
+    return SimpleNamespace(
+        policy_name=policy,
+        duration_s=86400.0,
+        throughput=1.0,
+        nodes=(),
+        total_downtime_s=0.0,
+        migrations=0,
+        dvfs_transitions=0,
+        unserved_wh=0.0,
+        feedback_wh=0.0,
+    )
+
+
+def _collector():
+    lines = []
+
+    async def emit(obj):
+        lines.append(obj.to_dict() if isinstance(obj, TraceEvent) else obj)
+
+    return lines, emit
+
+
+class TestInflightDedupe:
+    """Deterministic dedupe semantics, no processes involved."""
+
+    def test_follower_joins_holder_and_shares_the_result(self, tmp_path):
+        async def scenario():
+            service = CampaignService(
+                cache=ResultCache(tmp_path / "c"), n_workers=1
+            )
+            spec = build_specs({"policies": "e-buff", "dt": 300.0})[0]
+            release = asyncio.Event()
+
+            async def fake_execute(s):
+                await release.wait()
+                return _stub_result(), 1, ()
+
+            service._execute = fake_execute
+            lines_a, emit_a = _collector()
+            lines_b, emit_b = _collector()
+            task_a = asyncio.ensure_future(service.run_cell(spec, emit_a))
+            await asyncio.sleep(0)  # a registers as the in-flight holder
+            task_b = asyncio.ensure_future(service.run_cell(spec, emit_b))
+            await asyncio.sleep(0)
+            release.set()
+            return service, spec, await task_a, await task_b, lines_a, lines_b
+
+        service, spec, ra, rb, lines_a, lines_b = asyncio.run(scenario())
+        assert ra["source"] == "executed" and ra["ok"]
+        assert rb["source"] == "dedupe" and rb["ok"]
+        assert rb["summary"] == ra["summary"]
+        assert [l["kind"] for l in lines_a] == [
+            "cell_start",
+            "cell_finish",
+            "cell_result",
+        ]
+        assert [l["kind"] for l in lines_b] == ["cell_dedupe", "cell_result"]
+        assert service.stats["executed"] == 1
+        assert service.stats["dedupe_hits"] == 1
+        assert service.stats["cells"] == 2
+        assert not service._inflight
+        # The holder memoized: the shared cache now serves the key.
+        assert service.cache.get(spec.cache_key()) is not None
+
+    def test_follower_takes_over_when_holder_is_cancelled(self, tmp_path):
+        async def scenario():
+            service = CampaignService(
+                cache=ResultCache(tmp_path / "c"), n_workers=1
+            )
+            spec = build_specs({"policies": "e-buff", "dt": 300.0})[0]
+            release = asyncio.Event()
+
+            async def fake_execute(s):
+                await release.wait()
+                return _stub_result(), 1, ()
+
+            service._execute = fake_execute
+            _, emit_a = _collector()
+            lines_b, emit_b = _collector()
+            task_a = asyncio.ensure_future(service.run_cell(spec, emit_a))
+            await asyncio.sleep(0)
+            task_b = asyncio.ensure_future(service.run_cell(spec, emit_b))
+            await asyncio.sleep(0)
+            task_a.cancel()  # holder's client vanished mid-run
+            await asyncio.sleep(0)
+            release.set()
+            rb = await task_b
+            return service, rb, lines_b
+
+        service, rb, lines_b = asyncio.run(scenario())
+        # b joined a's execution, saw the cancellation, then re-ran the
+        # cell as the new holder instead of failing.
+        assert rb["ok"] and rb["source"] == "executed"
+        kinds = [l["kind"] for l in lines_b]
+        assert kinds[0] == "cell_dedupe" and "cell_start" in kinds
+        assert service.stats["executed"] == 1
+        assert not service._inflight
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """One real ``repro serve`` subprocess shared by integration tests."""
+    tmp = tmp_path_factory.mktemp("service")
+    socket_path = str(tmp / "serve.sock")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            socket_path,
+            "--cache-dir",
+            str(tmp / "cache"),
+            "--workers",
+            "2",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        wait_for_socket(socket_path, timeout_s=30.0)
+        yield socket_path
+    finally:
+        try:
+            with ServiceClient(socket_path=socket_path, timeout_s=10) as c:
+                ack = c.shutdown()
+            assert ack.get("kind") == "service_ack"
+            assert proc.wait(timeout=10) == 0  # clean shutdown, not a crash
+        except Exception:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestDaemonIntegration:
+    def test_ping_and_status(self, daemon):
+        with ServiceClient(socket_path=daemon, timeout_s=30) as client:
+            pong = client.ping()
+            assert pong["kind"] == "service_pong" and pong["pid"] > 0
+            status = client.status()
+            assert status["kind"] == "service_status"
+            assert status["n_workers"] == 2
+            assert status["cache"]["backend"] == "dir"
+
+    def test_bad_submission_streams_service_error(self, daemon):
+        with ServiceClient(socket_path=daemon, timeout_s=30) as client:
+            lines = list(client.submit({"polices": "baat"}))
+            assert lines[-1]["kind"] == "service_error"
+            assert "polices" in lines[-1]["error"]
+            # The connection survives a rejected submission.
+            assert client.ping()["kind"] == "service_pong"
+
+    def test_two_clients_share_one_execution(self, daemon):
+        """The acceptance scenario: two clients, same campaign, one
+        simulation per unique cell, streams that parse cleanly."""
+        campaign = {**CAMPAIGN, "seed": 424242}
+        n_unique = len({s.cache_key() for s in build_specs(campaign)})
+        barrier = threading.Barrier(2)
+        streams = [None, None]
+
+        def submit(slot):
+            with ServiceClient(socket_path=daemon, timeout_s=300) as client:
+                barrier.wait(timeout=30)
+                streams[slot] = list(client.submit(campaign))
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert all(s is not None for s in streams)
+
+        dones = [s[-1] for s in streams]
+        assert all(d["kind"] == "service_done" for d in dones)
+        for stream, done in zip(streams, dones):
+            results = [l for l in stream if l.get("kind") == "cell_result"]
+            assert len(results) == done["n_cells"] == n_unique
+            assert all(r["ok"] for r in results)
+            assert done["failed"] == 0
+            assert (
+                done["executed"] + done["cached"] + done["deduped"]
+                == done["n_cells"]
+            )
+            assert stream[0]["kind"] == "service_ack"
+        # Exactly one execution per unique cell across BOTH clients;
+        # every other submission was deduped or cache-served.
+        assert sum(d["executed"] for d in dones) == n_unique
+        assert sum(d["deduped"] + d["cached"] for d in dones) == n_unique
+
+        with ServiceClient(socket_path=daemon, timeout_s=30) as client:
+            stats = client.status()["stats"]
+        assert stats["failed"] == 0
+        assert stats["pool_rebuilds"] == 0
+
+    def test_streamed_trace_events_replay_through_obs(self, daemon, tmp_path):
+        """A captured stream is a valid trace file: known kinds parse
+        via event_from_dict, service envelopes skip via strict=False."""
+        from repro.obs import iter_events
+
+        campaign = {**CAMPAIGN, "seed": 77}
+        with ServiceClient(socket_path=daemon, timeout_s=300) as client:
+            lines = list(client.submit(campaign))
+
+        service_kinds = {
+            "service_ack",
+            "service_done",
+            "service_error",
+            "cell_result",
+        }
+        parsed = [
+            event_from_dict(l)
+            for l in lines
+            if l.get("kind") not in service_kinds
+        ]
+        kinds = [e.kind for e in parsed]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_finish"
+        assert kinds.count("cell_finish") + kinds.count(
+            "cell_cache_hit"
+        ) + kinds.count("cell_dedupe") >= 2
+
+        trace_path = tmp_path / "stream.jsonl"
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(json.dumps(line) + "\n")
+        replayed = list(iter_events(str(trace_path), strict=False))
+        assert [e.kind for e in replayed] == kinds
+
+    def test_resubmission_is_served_from_cache(self, daemon):
+        campaign = {**CAMPAIGN, "seed": 31337}
+        with ServiceClient(socket_path=daemon, timeout_s=300) as client:
+            first = client.submit_wait(campaign)
+            second = client.submit_wait(campaign)
+        assert first["executed"] + first["cached"] + first["deduped"] == 2
+        assert second["cached"] == 2 and second["executed"] == 0
+        assert second["wall_s"] < first["wall_s"]
